@@ -1,0 +1,455 @@
+package hadoopcodes
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, plus encode/decode/repair micro-benchmarks
+// (the paper's future-work "encoding duration" metric) and ablation
+// benches for the design choices DESIGN.md calls out. Figure-level
+// benchmarks report the reproduced headline metric through
+// b.ReportMetric so `go test -bench` output doubles as an experiment
+// record.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/locality"
+	"repro/internal/mapred"
+	"repro/internal/reliability"
+	"repro/internal/sched"
+)
+
+// --- Table 1 ---
+
+// BenchmarkTable1MTTDL regenerates Table 1 (storage overhead, code
+// length, MTTDL) and reports the 3-rep system MTTDL in years.
+func BenchmarkTable1MTTDL(b *testing.B) {
+	var rows []reliability.Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = reliability.Table1(reliability.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MTTDLYears, "3rep-years")
+	b.ReportMetric(rows[1].MTTDLYears, "pentagon-years")
+}
+
+// --- Figure 3 ---
+
+func benchLocality(b *testing.B, slots int, schedulers []sched.Scheduler) []locality.Point {
+	b.Helper()
+	cfg := locality.DefaultConfig(slots)
+	cfg.Trials = 5
+	cfg.Schedulers = schedulers
+	var pts []locality.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		pts, err = locality.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pts
+}
+
+// BenchmarkFig3LocalityMu2 reproduces the first panel of Figure 3 and
+// reports full-load delay-scheduler locality (percent).
+func BenchmarkFig3LocalityMu2(b *testing.B) {
+	pts := benchLocality(b, 2, []sched.Scheduler{sched.Delay{DelayRounds: 1}, sched.MaxMatch{}})
+	if p, ok := locality.Lookup(pts, "pentagon", "delay", 1.0); ok {
+		b.ReportMetric(p.Locality*100, "pent-DS-%")
+	}
+	if p, ok := locality.Lookup(pts, "heptagon", "delay", 1.0); ok {
+		b.ReportMetric(p.Locality*100, "hept-DS-%")
+	}
+}
+
+// BenchmarkFig3LocalityMu4 reproduces the second panel.
+func BenchmarkFig3LocalityMu4(b *testing.B) {
+	pts := benchLocality(b, 4, []sched.Scheduler{sched.Delay{DelayRounds: 1}, sched.MaxMatch{}})
+	if p, ok := locality.Lookup(pts, "pentagon", "delay", 1.0); ok {
+		b.ReportMetric(p.Locality*100, "pent-DS-%")
+	}
+}
+
+// BenchmarkFig3LocalityMu8 reproduces the third panel.
+func BenchmarkFig3LocalityMu8(b *testing.B) {
+	pts := benchLocality(b, 8, []sched.Scheduler{sched.Delay{DelayRounds: 1}, sched.MaxMatch{}})
+	if p, ok := locality.Lookup(pts, "pentagon", "delay", 1.0); ok {
+		b.ReportMetric(p.Locality*100, "pent-DS-%")
+	}
+}
+
+// BenchmarkFig3Peeling reproduces the fourth panel (mu = 4 with the
+// modified peeling algorithm).
+func BenchmarkFig3Peeling(b *testing.B) {
+	pts := benchLocality(b, 4, []sched.Scheduler{
+		sched.Delay{DelayRounds: 1}, sched.MaxMatch{}, sched.Peeling{},
+	})
+	if p, ok := locality.Lookup(pts, "pentagon", "peeling", 1.0); ok {
+		b.ReportMetric(p.Locality*100, "pent-peel-%")
+	}
+}
+
+// --- Figures 4 and 5 ---
+
+func benchMR(b *testing.B, cfg mapred.ExperimentConfig) []mapred.ResultPoint {
+	b.Helper()
+	cfg.Trials = 2
+	var pts []mapred.ResultPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		pts, err = mapred.RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pts
+}
+
+// BenchmarkFig4Setup1 reproduces Figure 4: Terasort on 25 nodes with 2
+// map slots; reports full-load job time and network traffic for the
+// pentagon.
+func BenchmarkFig4Setup1(b *testing.B) {
+	pts := benchMR(b, mapred.Figure4Config())
+	if p, ok := mapred.LookupResult(pts, "pentagon", 1.0); ok {
+		b.ReportMetric(p.JobSeconds, "pent-job-s")
+		b.ReportMetric(p.TrafficGB, "pent-GB")
+	}
+	if p, ok := mapred.LookupResult(pts, "2-rep", 1.0); ok {
+		b.ReportMetric(p.JobSeconds, "2rep-job-s")
+	}
+}
+
+// BenchmarkFig5Setup2 reproduces Figure 5: Terasort on 9 nodes with 4
+// map slots.
+func BenchmarkFig5Setup2(b *testing.B) {
+	pts := benchMR(b, mapred.Figure5Config())
+	if p, ok := mapred.LookupResult(pts, "pentagon", 0.75); ok {
+		b.ReportMetric(p.Locality*100, "pent-loc-%")
+	}
+	if p, ok := mapred.LookupResult(pts, "2-rep", 0.75); ok {
+		b.ReportMetric(p.Locality*100, "2rep-loc-%")
+	}
+}
+
+// BenchmarkDegradedMR is the future-work experiment: Terasort on
+// set-up 1 with two failed nodes.
+func BenchmarkDegradedMR(b *testing.B) {
+	cfg := mapred.Figure4Config()
+	cfg.Failures = 2
+	cfg.Codes = []string{"pentagon"}
+	cfg.Loads = []float64{0.75}
+	pts := benchMR(b, cfg)
+	if p, ok := mapred.LookupResult(pts, "pentagon", 0.75); ok {
+		b.ReportMetric(p.DegradedMaps, "degraded-maps")
+	}
+}
+
+// --- Section 2.1 / 3.1: repair bandwidth ---
+
+// BenchmarkRepairBandwidth plans (and costs) the paper's repair
+// scenarios; the metric is blocks moved.
+func BenchmarkRepairBandwidth(b *testing.B) {
+	pent := NewPentagon()
+	var bw int
+	for i := 0; i < b.N; i++ {
+		plan, err := pent.PlanRepair([]int{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bw = plan.Bandwidth()
+	}
+	b.ReportMetric(float64(bw), "pent-2node-blocks")
+}
+
+// --- Encoding duration (future-work metric E7) ---
+
+func benchEncode(b *testing.B, c Code) {
+	rng := rand.New(rand.NewSource(1))
+	const blockSize = 1 << 20
+	data := make([][]byte, c.DataSymbols())
+	for i := range data {
+		data[i] = make([]byte, blockSize)
+		rng.Read(data[i])
+	}
+	b.SetBytes(int64(c.DataSymbols() * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePentagon(b *testing.B)      { benchEncode(b, NewPentagon()) }
+func BenchmarkEncodeHeptagon(b *testing.B)      { benchEncode(b, NewHeptagon()) }
+func BenchmarkEncodeHeptagonLocal(b *testing.B) { benchEncode(b, NewHeptagonLocal()) }
+func BenchmarkEncodeRAIDM109(b *testing.B)      { benchEncode(b, NewRAIDM(9)) }
+
+func benchDecode(b *testing.B, c Code, erase []int) {
+	rng := rand.New(rand.NewSource(2))
+	const blockSize = 1 << 20
+	data := make([][]byte, c.DataSymbols())
+	for i := range data {
+		data[i] = make([]byte, blockSize)
+		rng.Read(data[i])
+	}
+	symbols, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nc := core.MaterializeNodes(c, symbols)
+	nc.Erase(erase...)
+	avail := nc.Available(c.Symbols())
+	b.SetBytes(int64(c.DataSymbols() * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(avail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePentagonTwoErasures(b *testing.B) { benchDecode(b, NewPentagon(), []int{0, 1}) }
+func BenchmarkDecodeHeptagonLocalThreeErasures(b *testing.B) {
+	benchDecode(b, NewHeptagonLocal(), []int{0, 1, 2})
+}
+
+// BenchmarkRepairExecutePentagon executes the full 2-node repair on
+// 1 MiB blocks.
+func BenchmarkRepairExecutePentagon(b *testing.B) {
+	c := NewPentagon()
+	rng := rand.New(rand.NewSource(3))
+	const blockSize = 1 << 20
+	data := make([][]byte, c.DataSymbols())
+	for i := range data {
+		data[i] = make([]byte, blockSize)
+		rng.Read(data[i])
+	}
+	symbols, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := c.PlanRepair([]int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(plan.Bandwidth() * blockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nc := core.MaterializeNodes(c, symbols)
+		nc.Erase(0, 1)
+		b.StartTimer()
+		if err := core.ExecuteRepair(nc, plan, blockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := bipartite.NewGraph(200, 200)
+	for l := 0; l < 200; l++ {
+		for d := 0; d < 2; d++ {
+			g.AddEdge(l, rng.Intn(200))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaxMatching()
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationRepairCostScaling contrasts Table 1 with and
+// without repair-bandwidth-dependent repair rates: without it, RAID+m
+// loses the penalty for rebuilding doubly-lost blocks from m whole
+// blocks.
+func BenchmarkAblationRepairCostScaling(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		p := reliability.DefaultParams()
+		rowsWith, err := reliability.ComputeRow("raid+m-10-9", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.RepairCostScaling = false
+		rowsWithout, err := reliability.ComputeRow("raid+m-10-9", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = rowsWith.MTTDLYears, rowsWithout.MTTDLYears
+	}
+	b.ReportMetric(without/with, "raidm-mttdl-inflation-x")
+}
+
+// BenchmarkAblationDelayScheduling contrasts pentagon locality with
+// delay scheduling on and off on set-up 1.
+func BenchmarkAblationDelayScheduling(b *testing.B) {
+	cfg := mapred.Figure4Config()
+	cfg.Codes = []string{"pentagon"}
+	cfg.Loads = []float64{1.0}
+	cfg.Trials = 2
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cfg.Params.DelaySkips = 0
+		ptsOn, err := mapred.RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Params.DelaySkips = -1
+		ptsOff, err := mapred.RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, off = ptsOn[0].Locality, ptsOff[0].Locality
+	}
+	b.ReportMetric(on*100, "delay-on-%")
+	b.ReportMetric(off*100, "delay-off-%")
+}
+
+// BenchmarkAblationPeelingVsDelay contrasts the future-work peeling
+// assigner against the delay scheduler in the full MR simulator.
+func BenchmarkAblationPeelingVsDelay(b *testing.B) {
+	cfg := mapred.Figure4Config()
+	cfg.Codes = []string{"heptagon"}
+	cfg.Loads = []float64{1.0}
+	cfg.Trials = 2
+	var delay, peel float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cfg.Params.Peeling = false
+		ptsD, err := mapred.RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Params.Peeling = true
+		ptsP, err := mapred.RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay, peel = ptsD[0].Locality, ptsP[0].Locality
+	}
+	b.ReportMetric(delay*100, "delay-%")
+	b.ReportMetric(peel*100, "peeling-%")
+}
+
+// --- Extended-system benchmarks ---
+
+func BenchmarkEncodeRS1410(b *testing.B) { benchEncode(b, NewRS(14, 10)) }
+
+// BenchmarkEncodeFileConcurrent measures the striper's worker-pool
+// encoding against a multi-stripe pentagon file.
+func BenchmarkEncodeFileConcurrent(b *testing.B) {
+	st, err := NewStriper(NewPentagon(), 1<<18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 9*(1<<18)*8) // 8 stripes
+	rng.Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.EncodeFileConcurrent(data, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePutGet measures the on-disk HDFS-RAID store round
+// trip.
+func BenchmarkStorePutGet(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		s, err := CreateStore(dir, "pentagon", 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Put("f", data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Get("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}
+
+// BenchmarkAvailability runs the exact 2^15 pattern enumeration for
+// the heptagon-local code and reports the unavailability.
+func BenchmarkAvailability(b *testing.B) {
+	c, err := New("heptagon-local")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := reliability.Params{NodeMTTFHours: 99, NodeRepairHours: 1}
+	var u float64
+	for i := 0; i < b.N; i++ {
+		res, err := reliability.StripeUnavailability(c, p, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u = res.Unavailability
+	}
+	b.ReportMetric(u*1e9, "unavail-ppb")
+}
+
+// BenchmarkSystemMTTDL runs the whole-cluster overlapping-stripe
+// Monte-Carlo at accelerated rates.
+func BenchmarkSystemMTTDL(b *testing.B) {
+	c, err := New("pentagon")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := reliability.SystemConfig{
+		Nodes: 25, Code: c, Stripes: 10,
+		Params: reliability.Params{NodeMTTFHours: 60, NodeRepairHours: 10},
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := reliability.SimulateSystemMTTDL(cfg, 200, rand.New(rand.NewSource(int64(i+1))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.MeanHours
+	}
+	b.ReportMetric(mean, "mean-hours")
+}
+
+// BenchmarkOnlineRepairMR runs Terasort with the RaidNode rebuild
+// sharing the LAN (extension E14).
+func BenchmarkOnlineRepairMR(b *testing.B) {
+	cfg := mapred.Figure4Config()
+	cfg.Failures = 2
+	cfg.Codes = []string{"pentagon"}
+	cfg.Loads = []float64{0.75}
+	cfg.Params.OnlineRepair = true
+	cfg.Trials = 2
+	var job float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		pts, err := mapred.RunExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		job = pts[0].JobSeconds
+	}
+	b.ReportMetric(job, "job-s")
+}

@@ -1,0 +1,68 @@
+// Command availability quantifies the paper's Section 1 motivations:
+// stripe unavailability under transient node failures (exact 2^n
+// pattern enumeration against each code's real decoder, sampling for
+// long codes) and the annual repair traffic per stored data block.
+//
+// Usage:
+//
+//	availability [-mttf hours] [-mttr hours] [-blockmb n] [-samples n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+	"repro/internal/core"
+	"repro/internal/reliability"
+)
+
+func main() {
+	mttf := flag.Float64("mttf", 99, "node mean time to (transient) failure, hours")
+	mttr := flag.Float64("mttr", 1, "node mean time to recovery, hours")
+	blockMB := flag.Float64("blockmb", 128, "block size in MB for repair-traffic accounting")
+	samples := flag.Int("samples", 2_000_000, "Monte-Carlo samples for codes longer than 16 nodes")
+	flag.Parse()
+
+	p := reliability.Params{NodeMTTFHours: *mttf, NodeRepairHours: *mttr}
+	up := *mttf / (*mttf + *mttr)
+	fmt.Printf("node availability %.4f (MTTF %.0f h, MTTR %.1f h)\n\n", up, *mttf, *mttr)
+	fmt.Printf("%-16s %8s %16s %8s %22s\n", "Code", "Overhead", "Unavailability", "Method", "Repair traffic/block")
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"2-rep", "3-rep", "pentagon", "heptagon", "heptagon-local", "raid+m-10-9", "rs-14-10"} {
+		c, err := core.New(name)
+		if err != nil {
+			fail(err)
+		}
+		res, err := reliability.StripeUnavailability(c, p, *samples, rng)
+		if err != nil {
+			fail(err)
+		}
+		method := "sampled"
+		if res.Exact {
+			method = "exact"
+		}
+		traffic, err := reliability.AnnualRepairTraffic(c, p, *blockMB*1024*1024)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-16s %7.2fx %16.3e %8s %18.1f GB/yr\n",
+			c.Name(), core.StorageOverhead(c), res.Unavailability, method, traffic/(1024*1024*1024))
+	}
+	fmt.Println("\nSection 1's argument in numbers: the double-replication codes keep")
+	fmt.Println("data available through the transient failures that dominate large")
+	fmt.Println("clusters, and their repair-by-transfer plans keep the repair bill at")
+	fmt.Println("replication levels — unlike single-copy RS, whose every node failure")
+	fmt.Println("costs k whole-block transfers per lost block.")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "availability:", err)
+	os.Exit(1)
+}

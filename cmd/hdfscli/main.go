@@ -1,0 +1,189 @@
+// Command hdfscli drives the on-disk miniature HDFS-RAID store: create
+// a store for any registered code, put/get files, kill nodes, repair
+// them with the code's partial-parity plans, and fsck the block
+// inventory.
+//
+// Usage:
+//
+//	hdfscli -store DIR create -code pentagon [-blocksize N]
+//	hdfscli -store DIR put FILE
+//	hdfscli -store DIR get NAME OUT
+//	hdfscli -store DIR ls
+//	hdfscli -store DIR kill NODE...
+//	hdfscli -store DIR repair NODE...
+//	hdfscli -store DIR fsck
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+	"repro/internal/core"
+	"repro/internal/hdfsraid"
+)
+
+func main() {
+	store := flag.String("store", "", "store directory (required)")
+	flag.Parse()
+	args := flag.Args()
+	if *store == "" || len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "create":
+		err = doCreate(*store, args[1:])
+	case "put":
+		err = doPut(*store, args[1:])
+	case "get":
+		err = doGet(*store, args[1:])
+	case "ls":
+		err = doLs(*store)
+	case "kill":
+		err = doNodes(*store, args[1:], "kill")
+	case "repair":
+		err = doNodes(*store, args[1:], "repair")
+	case "fsck":
+		err = doFsck(*store)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdfscli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck}")
+	fmt.Fprintln(os.Stderr, "codes:", core.Names())
+	os.Exit(2)
+}
+
+func doCreate(store string, args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	code := fs.String("code", "pentagon", "coding scheme")
+	blockSize := fs.Int("blocksize", 1<<20, "block size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := hdfsraid.Create(store, *code, *blockSize)
+	if err != nil {
+		return err
+	}
+	c := s.Code()
+	fmt.Printf("created %s store at %s: %d nodes, %d-byte blocks, overhead %.2fx, tolerates %d failures\n",
+		c.Name(), store, c.Nodes(), *blockSize, core.StorageOverhead(c), c.FaultTolerance())
+	return nil
+}
+
+func doPut(store string, args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	name := filepath.Base(args[0])
+	if err := s.Put(name, data); err != nil {
+		return err
+	}
+	fi, _ := s.Info(name)
+	fmt.Printf("stored %s: %d bytes in %d stripes\n", name, fi.Length, fi.Stripes)
+	return nil
+}
+
+func doGet(store string, args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	data, err := s.Get(args[0])
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(args[1], data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("read %s: %d bytes -> %s\n", args[0], len(data), args[1])
+	return nil
+}
+
+func doLs(store string) error {
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	for _, name := range s.Files() {
+		fi, _ := s.Info(name)
+		fmt.Printf("%-30s %10d bytes %4d stripes\n", name, fi.Length, fi.Stripes)
+	}
+	return nil
+}
+
+func doNodes(store string, args []string, op string) error {
+	if len(args) == 0 {
+		usage()
+	}
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	nodes := make([]int, len(args))
+	for i, a := range args {
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			return fmt.Errorf("bad node %q", a)
+		}
+		nodes[i] = n
+	}
+	if op == "kill" {
+		for _, n := range nodes {
+			if err := s.KillNode(n); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("killed nodes %v\n", nodes)
+		return nil
+	}
+	rep, err := s.Repair(nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repaired nodes %v: %d stripes, %d blocks restored, %d block-units transferred\n",
+		nodes, rep.Stripes, rep.BlocksRestored, rep.Transfers)
+	return nil
+}
+
+func doFsck(store string) error {
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Fsck()
+	if err != nil {
+		return err
+	}
+	status := "HEALTHY"
+	if !rep.Healthy() {
+		status = "DEGRADED"
+	}
+	fmt.Printf("%s: %d blocks, %d missing, %d corrupt\n", status, rep.Blocks, rep.Missing, rep.Corrupt)
+	return nil
+}

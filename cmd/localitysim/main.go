@@ -1,0 +1,101 @@
+// Command localitysim regenerates the paper's Figure 3: map-task data
+// locality versus load for 2-rep, pentagon and heptagon placements on
+// a 25-node cluster, under delay scheduling and maximum matching
+// (panels mu=2,4,8), plus the modified-peeling panel at mu=4.
+//
+// Usage:
+//
+//	localitysim [-nodes n] [-trials n] [-slots mu] [-csv]
+//
+// Without -slots it prints all four panels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ascii"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/replication"
+	"repro/internal/locality"
+	"repro/internal/sched"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 25, "cluster size")
+	trials := flag.Int("trials", 40, "trials per point")
+	slots := flag.Int("slots", 0, "restrict to one map-slot count (0 = all panels)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	plot := flag.Bool("plot", false, "draw ASCII charts like the paper's figure panels")
+	flag.Parse()
+
+	if *csv {
+		fmt.Println("slots,code,scheduler,load,locality")
+	}
+	panels := []int{2, 4, 8}
+	if *slots != 0 {
+		panels = []int{*slots}
+	}
+	for _, mu := range panels {
+		cfg := locality.DefaultConfig(mu)
+		cfg.Nodes = *nodes
+		cfg.Trials = *trials
+		if mu == 4 {
+			// The paper's fourth panel adds the peeling algorithm at mu=4.
+			cfg.Schedulers = append(cfg.Schedulers, sched.Peeling{})
+		}
+		points, err := locality.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "localitysim:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, p := range points {
+				fmt.Printf("%d,%s,%s,%.2f,%.4f\n", p.Slots, p.Code, p.Scheduler, p.Load, p.Locality)
+			}
+			continue
+		}
+		if *plot {
+			chart := &ascii.Chart{
+				Title:  fmt.Sprintf("Figure 3 panel: mu = %d map slots per node", mu),
+				XLabel: "load (%)", YLabel: "data locality (%)",
+				YMin: 50, YMax: 100,
+			}
+			for _, code := range cfg.Codes {
+				for _, s := range cfg.Schedulers {
+					var series [][2]float64
+					for _, l := range cfg.Loads {
+						if p, ok := locality.Lookup(points, code, s.Name(), l); ok {
+							series = append(series, [2]float64{l * 100, p.Locality * 100})
+						}
+					}
+					chart.Add(code+"-"+s.Name(), series)
+				}
+			}
+			fmt.Println(chart.Render())
+			continue
+		}
+		fmt.Printf("=== Figure 3 panel: mu = %d map slots per node ===\n", mu)
+		fmt.Printf("%-10s %-10s", "code", "scheduler")
+		for _, l := range cfg.Loads {
+			fmt.Printf(" %5.0f%%", l*100)
+		}
+		fmt.Println()
+		for _, code := range cfg.Codes {
+			for _, s := range cfg.Schedulers {
+				fmt.Printf("%-10s %-10s", code, s.Name())
+				for _, l := range cfg.Loads {
+					p, ok := locality.Lookup(points, code, s.Name(), l)
+					if !ok {
+						fmt.Fprintln(os.Stderr, "localitysim: missing point")
+						os.Exit(1)
+					}
+					fmt.Printf(" %5.1f", p.Locality*100)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}

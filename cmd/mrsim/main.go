@@ -1,0 +1,113 @@
+// Command mrsim regenerates the paper's Figures 4 and 5: Terasort job
+// time, network traffic and data locality on the two cluster set-ups,
+// for 3-rep, 2-rep, pentagon and heptagon. It also runs the paper's
+// future-work extensions: node failures with partial-parity degraded
+// reads, the peeling task assigner, and WordCount/Grep workloads.
+//
+// Usage:
+//
+//	mrsim [-setup 1|2] [-trials n] [-job terasort|wordcount|grep]
+//	      [-failures n] [-scheduler delay|peeling] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ascii"
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/replication"
+	"repro/internal/mapred"
+)
+
+func main() {
+	setup := flag.Int("setup", 1, "cluster set-up: 1 (25 nodes, 2 map slots) or 2 (9 nodes, 4 map slots)")
+	trials := flag.Int("trials", 10, "trials per point")
+	job := flag.String("job", "terasort", "workload: terasort, wordcount, grep")
+	failures := flag.Int("failures", 0, "nodes failed before the job runs (degraded-mode experiment)")
+	onlineRepair := flag.Bool("online-repair", false, "run the RaidNode rebuild concurrently with the job")
+	scheduler := flag.String("scheduler", "delay", "map-task assigner: delay or peeling")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	plot := flag.Bool("plot", false, "draw ASCII charts of the three figure panels")
+	flag.Parse()
+
+	var cfg mapred.ExperimentConfig
+	switch *setup {
+	case 1:
+		cfg = mapred.Figure4Config()
+	case 2:
+		cfg = mapred.Figure5Config()
+	default:
+		fmt.Fprintln(os.Stderr, "mrsim: -setup must be 1 or 2")
+		os.Exit(1)
+	}
+	cfg.Trials = *trials
+	cfg.Job = *job
+	cfg.Failures = *failures
+	cfg.Params.OnlineRepair = *onlineRepair
+	switch *scheduler {
+	case "delay":
+	case "peeling":
+		cfg.Params.Peeling = true
+	default:
+		fmt.Fprintln(os.Stderr, "mrsim: -scheduler must be delay or peeling")
+		os.Exit(1)
+	}
+
+	points, err := mapred.RunExperiment(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrsim:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("code,load,job_seconds,traffic_gb,shuffle_gb,locality,degraded_maps")
+		for _, p := range points {
+			fmt.Printf("%s,%.2f,%.2f,%.3f,%.3f,%.4f,%.2f\n",
+				p.Code, p.Load, p.JobSeconds, p.TrafficGB, p.ShuffleGB, p.Locality, p.DegradedMaps)
+		}
+		return
+	}
+	fig := "Figure 4 (set-up 1: 25 nodes, 2 map slots)"
+	if *setup == 2 {
+		fig = "Figure 5 (set-up 2: 9 nodes, 4 map slots)"
+	}
+	fmt.Printf("=== %s — %s, %d trials", fig, *job, *trials)
+	if *failures > 0 {
+		fmt.Printf(", %d failed nodes", *failures)
+	}
+	if cfg.Params.Peeling {
+		fmt.Print(", peeling scheduler")
+	}
+	fmt.Print(" ===\n\n")
+	fmt.Print(mapred.FormatResults(points))
+	if *plot {
+		fmt.Println()
+		panels := []struct {
+			title, ylabel string
+			value         func(mapred.ResultPoint) float64
+			ymin, ymax    float64
+		}{
+			{"Job time", "seconds", func(p mapred.ResultPoint) float64 { return p.JobSeconds }, 0, 0},
+			{"Network traffic", "GB", func(p mapred.ResultPoint) float64 { return p.TrafficGB }, 0, 0},
+			{"Data locality", "%", func(p mapred.ResultPoint) float64 { return p.Locality * 100 }, 50, 100},
+		}
+		for _, panel := range panels {
+			chart := &ascii.Chart{
+				Title: panel.title, XLabel: "load (%)", YLabel: panel.ylabel,
+				YMin: panel.ymin, YMax: panel.ymax,
+			}
+			for _, code := range cfg.Codes {
+				var series [][2]float64
+				for _, load := range cfg.Loads {
+					if p, ok := mapred.LookupResult(points, code, load); ok {
+						series = append(series, [2]float64{load * 100, panel.value(p)})
+					}
+				}
+				chart.Add(code, series)
+			}
+			fmt.Println(chart.Render())
+		}
+	}
+}

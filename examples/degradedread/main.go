@@ -1,0 +1,62 @@
+// Degraded read comparison (paper §3.1): when both replicas of a block
+// are temporarily down and a map task needs it, the pentagon code
+// serves the read from 3 partial parities while (10,9) RAID+m must
+// move 9 whole blocks. Both paths are executed on real data and
+// verified.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	hadoopcodes "repro"
+)
+
+const blockSize = 256 << 10
+
+func main() {
+	fmt.Println("On-the-fly repair of a doubly-lost block during a MapReduce job:")
+	fmt.Println()
+	demo(hadoopcodes.NewPentagon())
+	demo(hadoopcodes.NewRAIDM(9))
+	fmt.Println("The pentagon's partial parities cut the on-the-fly repair traffic 3x,")
+	fmt.Println("and with Hadoop combine functions the XORs run inside the source nodes.")
+}
+
+func demo(code hadoopcodes.Code) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]byte, code.DataSymbols())
+	for i := range data {
+		data[i] = make([]byte, blockSize)
+		rng.Read(data[i])
+	}
+	symbols, err := code.Encode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := hadoopcodes.MaterializeNodes(code, symbols)
+
+	// Take down both replica holders of data block 0.
+	holders := code.Placement().SymbolNodes[0]
+	nodes.Erase(holders...)
+
+	rp, ok := code.(hadoopcodes.ReadPlanner)
+	if !ok {
+		log.Fatalf("%s cannot plan reads", code.Name())
+	}
+	plan, err := rp.PlanRead(0, holders, hadoopcodes.OffCluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := hadoopcodes.ExecuteRead(nodes, plan, hadoopcodes.OffCluster, blockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, data[0]) {
+		log.Fatalf("%s: degraded read returned wrong data", code.Name())
+	}
+	fmt.Printf("  %-16s replicas on nodes %v down -> read costs %d block transfers (verified)\n",
+		code.Name(), holders, plan.Bandwidth())
+}

@@ -1,0 +1,53 @@
+// Rack-aware placement (paper §2.2): the heptagon-local code puts its
+// two heptagons and global-parity node in three different racks, so
+// the common repairs never cross the rack switch and a full rack loss
+// is a tolerated erasure pattern. This example places a file on a
+// 24-node, 3-rack cluster and compares intra- vs cross-rack repair
+// traffic for one, two and three failures.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/code/heptlocal"
+)
+
+func main() {
+	topo := cluster.UniformTopology(24, 3)
+	code := heptlocal.New()
+	rng := rand.New(rand.NewSource(1))
+	file, err := cluster.PlaceFileRackAware(code, topo, 120, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d blocks (%d stripes) of %s on 24 nodes / 3 racks\n",
+		len(file.Blocks), len(file.StripeNodes), code.Name())
+	chosen := file.StripeNodes[0]
+	fmt.Printf("stripe 0: heptagon A on nodes %v, heptagon B on %v, global on %d\n\n",
+		chosen[:7], chosen[7:14], chosen[14])
+
+	const blockMB = 128.0
+	scenarios := []struct {
+		name   string
+		failed []int
+	}{
+		{"1 node of heptagon A", []int{chosen[2]}},
+		{"2 nodes of heptagon A", []int{chosen[2], chosen[5]}},
+		{"3 nodes of heptagon A (worst case)", []int{chosen[0], chosen[1], chosen[2]}},
+		{"global-parity node", []int{chosen[14]}},
+	}
+	fmt.Printf("%-36s %12s %12s\n", "failure", "intra-rack", "cross-rack")
+	for _, sc := range scenarios {
+		intra, cross, err := file.TrafficSplit(topo, sc.failed, blockMB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-36s %9.0f MB %9.0f MB\n", sc.name, intra, cross)
+	}
+	fmt.Println("\nOne- and two-node repairs stay entirely inside the failed rack;")
+	fmt.Println("only the rare triple failure (and the global rebuild) pays the")
+	fmt.Println("cross-rack tax — exactly the §2.2 design intent.")
+}

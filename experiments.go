@@ -1,0 +1,98 @@
+package hadoopcodes
+
+import (
+	"math/rand"
+
+	"repro/internal/locality"
+	"repro/internal/mapred"
+	"repro/internal/reliability"
+	"repro/internal/sched"
+)
+
+// Reliability / Table 1.
+
+// ReliabilityParams configures the MTTDL model.
+type ReliabilityParams = reliability.Params
+
+// ReliabilityRow is one row of Table 1.
+type ReliabilityRow = reliability.Row
+
+// DefaultReliabilityParams returns the Table 1 calibration.
+func DefaultReliabilityParams() ReliabilityParams { return reliability.DefaultParams() }
+
+// Table1 computes the paper's Table 1 under the given parameters.
+func Table1(p ReliabilityParams) ([]ReliabilityRow, error) { return reliability.Table1(p) }
+
+// FormatTable1 renders Table 1 rows.
+func FormatTable1(rows []ReliabilityRow) string { return reliability.FormatTable(rows) }
+
+// Locality / Figure 3.
+
+// LocalityConfig configures a Figure 3 locality sweep.
+type LocalityConfig = locality.Config
+
+// LocalityPoint is one (code, scheduler, load) locality measurement.
+type LocalityPoint = locality.Point
+
+// Scheduler assigns map tasks to nodes; see the sched package for the
+// delay, max-match and peeling implementations.
+type Scheduler = sched.Scheduler
+
+// DefaultLocalityConfig returns the Figure 3 setting for a given
+// map-slot count.
+func DefaultLocalityConfig(slots int) LocalityConfig { return locality.DefaultConfig(slots) }
+
+// RunLocality executes a locality sweep.
+func RunLocality(cfg LocalityConfig) ([]LocalityPoint, error) { return locality.Run(cfg) }
+
+// DelayScheduler returns Hadoop's delay scheduler with the given round
+// budget.
+func DelayScheduler(rounds int) Scheduler { return sched.Delay{DelayRounds: rounds} }
+
+// MaxMatchScheduler returns the Hopcroft-Karp maximum-matching
+// benchmark scheduler.
+func MaxMatchScheduler() Scheduler { return sched.MaxMatch{} }
+
+// PeelingScheduler returns the modified degree-guided peeling
+// scheduler.
+func PeelingScheduler() Scheduler { return sched.Peeling{} }
+
+// MapReduce / Figures 4 and 5.
+
+// MRExperimentConfig configures a Figure 4/5-style MapReduce sweep.
+type MRExperimentConfig = mapred.ExperimentConfig
+
+// MRResultPoint is one averaged experiment cell.
+type MRResultPoint = mapred.ResultPoint
+
+// Figure4Config returns the paper's set-up 1 sweep.
+func Figure4Config() MRExperimentConfig { return mapred.Figure4Config() }
+
+// Figure5Config returns the paper's set-up 2 sweep.
+func Figure5Config() MRExperimentConfig { return mapred.Figure5Config() }
+
+// RunMRExperiment executes a MapReduce sweep.
+func RunMRExperiment(cfg MRExperimentConfig) ([]MRResultPoint, error) {
+	return mapred.RunExperiment(cfg)
+}
+
+// FormatMRResults renders experiment cells as a table.
+func FormatMRResults(points []MRResultPoint) string { return mapred.FormatResults(points) }
+
+// Availability and repair-traffic analysis (paper Section 1).
+
+// AvailabilityResult is a stripe-unavailability measurement.
+type AvailabilityResult = reliability.AvailabilityResult
+
+// StripeUnavailability computes the probability a stripe of the code
+// is momentarily undecodable under independent transient node
+// failures. See reliability.StripeUnavailability.
+func StripeUnavailability(c Code, p ReliabilityParams, samples int, rng *rand.Rand) (AvailabilityResult, error) {
+	return reliability.StripeUnavailability(c, p, samples, rng)
+}
+
+// AnnualRepairTraffic estimates yearly repair bytes per stored data
+// block for the code under the failure model.
+func AnnualRepairTraffic(c Code, p ReliabilityParams, blockBytes float64) (float64, error) {
+	return reliability.AnnualRepairTraffic(c, p, blockBytes)
+}

@@ -1,0 +1,183 @@
+package hadoopcodes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeConstructors(t *testing.T) {
+	if NewPentagon().Name() != "pentagon" {
+		t.Error("NewPentagon wrong")
+	}
+	if NewHeptagon().Name() != "heptagon" {
+		t.Error("NewHeptagon wrong")
+	}
+	if NewHeptagonLocal().Nodes() != 15 {
+		t.Error("NewHeptagonLocal wrong")
+	}
+	if NewRAIDM(9).Nodes() != 20 {
+		t.Error("NewRAIDM wrong")
+	}
+	if NewReplication(3).Nodes() != 3 {
+		t.Error("NewReplication wrong")
+	}
+	if NewPolygon(6).Nodes() != 6 {
+		t.Error("NewPolygon wrong")
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"2-rep", "3-rep", "heptagon", "heptagon-local", "pentagon", "raid+m-10-9", "raid+m-12-11"}
+	if len(names) < len(want) {
+		t.Fatalf("registry names = %v", names)
+	}
+	for _, w := range want {
+		c, err := New(w)
+		if err != nil {
+			t.Fatalf("New(%q): %v", w, err)
+		}
+		if err := VerifyPlacement(c); err != nil {
+			t.Errorf("%s: %v", w, err)
+		}
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The doc-comment quick start, verified.
+	code := NewPentagon()
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, code.DataSymbols())
+	for i := range data {
+		data[i] = make([]byte, 64)
+		rng.Read(data[i])
+	}
+	symbols, err := code.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := code.PlanRepair([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Bandwidth() != 10 {
+		t.Fatalf("repair bandwidth = %d, want 10", plan.Bandwidth())
+	}
+	nc := MaterializeNodes(code, symbols)
+	nc.Erase(0, 1)
+	if err := ExecuteRepair(nc, plan, 64); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := code.PlanRead(0, nil, OffCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteRead(nc, rp, OffCluster, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[0]) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestFacadeStriper(t *testing.T) {
+	st, err := NewStriper(NewPentagon(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("hadoop"), 100)
+	stripes, err := st.EncodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.DecodeFile(stripes, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("striper round trip failed")
+	}
+}
+
+func TestFacadeExperimentWrappers(t *testing.T) {
+	rows, err := Table1(DefaultReliabilityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || FormatTable1(rows) == "" {
+		t.Fatal("Table1 wrapper broken")
+	}
+
+	lcfg := DefaultLocalityConfig(2)
+	lcfg.Trials = 2
+	lcfg.Loads = []float64{1.0}
+	lcfg.Codes = []string{"pentagon"}
+	lcfg.Schedulers = []Scheduler{DelayScheduler(1), MaxMatchScheduler(), PeelingScheduler()}
+	pts, err := RunLocality(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("locality wrapper returned %d points", len(pts))
+	}
+
+	mcfg := Figure4Config()
+	mcfg.Trials = 1
+	mcfg.Loads = []float64{0.5}
+	mcfg.Codes = []string{"2-rep"}
+	res, err := RunMRExperiment(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || FormatMRResults(res) == "" {
+		t.Fatal("MR wrapper broken")
+	}
+	if Figure5Config().Cluster.Nodes != 9 {
+		t.Fatal("Figure5Config wrong")
+	}
+	if StorageOverhead(NewPentagon()) < 2.2 {
+		t.Fatal("StorageOverhead wrapper broken")
+	}
+}
+
+func TestFacadeRSAndStore(t *testing.T) {
+	c := NewRS(14, 10)
+	if c.FaultTolerance() != 4 {
+		t.Fatal("NewRS wrong")
+	}
+	dir := t.TempDir()
+	s, err := CreateStore(dir, "pentagon", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 10_000)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Repair([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s2.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("store unhealthy after facade repair: %+v", rep)
+	}
+	got, err := s2.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("facade store round trip failed")
+	}
+}

@@ -1,0 +1,132 @@
+// Package ascii renders simple terminal line charts for the figure
+// regeneration tools, so `cmd/localitysim -plot` and `cmd/mrsim -plot`
+// show the same curve shapes as the paper's figures without any
+// plotting dependency.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Chart is a collection of series sharing axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	YMin   float64
+	YMax   float64 // YMax <= YMin means autoscale
+	series []Series
+}
+
+// Add appends a series. Points are sorted by x at render time.
+func (c *Chart) Add(name string, points [][2]float64) {
+	c.series = append(c.series, Series{Name: name, Points: points})
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, p[0])
+			xmax = math.Max(xmax, p[0])
+			ymin = math.Min(ymin, p[1])
+			ymax = math.Max(ymax, p[1])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		col := int((x - xmin) / (xmax - xmin) * float64(w-1))
+		row := int((ymax - y) / (ymax - ymin) * float64(h-1))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != m {
+			grid[row][col] = '&' // overlapping series
+		} else {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		pts := append([][2]float64(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+		// Linear interpolation between points for a continuous curve.
+		for i := 0; i+1 < len(pts); i++ {
+			x0, y0 := pts[i][0], pts[i][1]
+			x1, y1 := pts[i+1][0], pts[i+1][1]
+			steps := 2 * w
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(x0+f*(x1-x0), y0+f*(y1-y0), m)
+			}
+		}
+		if len(pts) == 1 {
+			plot(pts[0][0], pts[0][1], m)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.4g ", ymax)
+		case h - 1:
+			label = fmt.Sprintf("%7.4g ", ymin)
+		case (h - 1) / 2:
+			label = fmt.Sprintf("%7.4g ", (ymax+ymin)/2)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "        %-10.4g%*s%10.4g\n", xmin, w-10, "", xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "        x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

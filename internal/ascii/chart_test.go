@@ -1,0 +1,71 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := &Chart{Title: "t", XLabel: "load", YLabel: "locality"}
+	c.Add("a", [][2]float64{{0, 0}, {1, 1}})
+	c.Add("b", [][2]float64{{0, 1}, {1, 0}})
+	out := c.Render()
+	for _, want := range []string{"t\n", "load", "locality", "* a", "o b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers not drawn")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{}
+	c.Add("p", [][2]float64{{5, 5}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestRenderFixedScale(t *testing.T) {
+	c := &Chart{YMin: 0, YMax: 100, Height: 10}
+	c.Add("a", [][2]float64{{0, 50}, {1, 50}})
+	out := c.Render()
+	if !strings.Contains(out, "100") || !strings.Contains(out, "0 |") && !strings.Contains(out, "      0 ") {
+		t.Errorf("fixed scale labels missing:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneCurveStaysInBounds(t *testing.T) {
+	c := &Chart{Width: 40, Height: 12}
+	c.Add("line", [][2]float64{{25, 60}, {50, 70}, {75, 85}, {100, 95}})
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	plotted := 0
+	for _, l := range lines {
+		plotted += strings.Count(l, "*")
+	}
+	if plotted < 20 {
+		t.Errorf("interpolated curve too sparse (%d cells):\n%s", plotted, out)
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	c := &Chart{Width: 20, Height: 5}
+	c.Add("a", [][2]float64{{0, 1}, {1, 1}})
+	c.Add("b", [][2]float64{{0, 1}, {1, 1}})
+	out := c.Render()
+	if !strings.Contains(out, "&") {
+		t.Errorf("identical series should overlap with '&':\n%s", out)
+	}
+}

@@ -1,0 +1,120 @@
+// Package block provides the block primitives shared by every coding
+// scheme: fixed-size data buffers, fast XOR kernels, block/stripe
+// identifiers, and integrity checksums.
+//
+// HDFS stores files as a sequence of large blocks (64-256 MB in the
+// paper's clusters). All codes in this repository operate stripe by
+// stripe on groups of such blocks; this package is deliberately free of
+// any coding logic.
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// ID identifies a stored block: the file it belongs to, the stripe index
+// within the file, and the symbol index within the stripe's code.
+type ID struct {
+	File   string
+	Stripe int
+	Symbol int
+}
+
+// String renders the ID in the form file#stripe/symbol.
+func (id ID) String() string {
+	return fmt.Sprintf("%s#%d/%d", id.File, id.Stripe, id.Symbol)
+}
+
+// Checksum returns the CRC-32C (Castagnoli) checksum of a block, the
+// same family of checksum HDFS uses for block integrity.
+func Checksum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// XorInto sets dst[i] ^= src[i] for all i. The slices must have equal
+// length. The kernel works 8 bytes at a time through encoding/binary,
+// which the compiler lowers to single 64-bit loads and xors.
+func XorInto(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("block: XorInto length mismatch %d != %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Xor returns the XOR of all given blocks, which must be non-empty and
+// of equal length. The inputs are not modified.
+func Xor(blocks ...[]byte) []byte {
+	if len(blocks) == 0 {
+		panic("block: Xor of no blocks")
+	}
+	out := make([]byte, len(blocks[0]))
+	copy(out, blocks[0])
+	for _, b := range blocks[1:] {
+		XorInto(out, b)
+	}
+	return out
+}
+
+// Zero reports whether every byte of b is zero.
+func Zero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two blocks have identical contents.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of b.
+func Clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// CloneAll deep-copies a slice of blocks. Nil entries stay nil.
+func CloneAll(blocks [][]byte) [][]byte {
+	out := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		if b != nil {
+			out[i] = Clone(b)
+		}
+	}
+	return out
+}
+
+// Sizes verifies that every non-nil block has the given size.
+func Sizes(blocks [][]byte, size int) error {
+	for i, b := range blocks {
+		if b != nil && len(b) != size {
+			return fmt.Errorf("block %d has size %d, want %d", i, len(b), size)
+		}
+	}
+	return nil
+}

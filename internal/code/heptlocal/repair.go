@@ -1,0 +1,365 @@
+package heptlocal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gf256"
+)
+
+// PlanRepair rebuilds up to three failed nodes.
+//
+//   - One or two failures inside a heptagon are repaired locally with
+//     the heptagon's own repair-by-transfer / partial-parity plan; the
+//     second heptagon and the global node are never touched.
+//   - A failed global node recomputes Q0 and Q1 from per-node partial
+//     parities (two per contributing node) instead of shipping all 40
+//     raw data blocks.
+//   - Three failures inside one heptagon lose three symbols entirely;
+//     they are rebuilt on the lowest replacement node by combining
+//     partial parities from both heptagons with the global parities,
+//     then forwarded to the remaining replacements.
+func (c *Code) PlanRepair(failed []int) (*core.RepairPlan, error) {
+	seen := make(map[int]bool, len(failed))
+	var inA, inB []int
+	globalDown := false
+	for _, f := range failed {
+		if f < 0 || f >= N {
+			return nil, fmt.Errorf("heptagon-local: invalid node %d", f)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("heptagon-local: duplicate failed node %d", f)
+		}
+		seen[f] = true
+		switch {
+		case f < 7:
+			inA = append(inA, f)
+		case f < 14:
+			inB = append(inB, f-7)
+		default:
+			globalDown = true
+		}
+	}
+	if len(failed) > 3 {
+		return nil, &core.ErasureError{
+			Code: c.Name(), Missing: failed,
+			Reason: fmt.Sprintf("%d node failures exceed fault tolerance 3", len(failed)),
+		}
+	}
+	plan := &core.RepairPlan{}
+	for h, group := range [][]int{inA, inB} {
+		switch len(group) {
+		case 0:
+		case 1, 2:
+			local, err := c.hept.PlanRepair(group)
+			if err != nil {
+				return nil, err
+			}
+			plan.Merge(c.remapPlan(h, local))
+		case 3:
+			sub, err := c.planTripleInGroup(h, group)
+			if err != nil {
+				return nil, err
+			}
+			plan.Merge(sub)
+		}
+	}
+	if globalDown {
+		plan.Merge(c.planGlobalRebuild())
+	}
+	plan.Failed = append([]int(nil), failed...)
+	return plan, nil
+}
+
+// remapPlan lifts a polygon-local plan for heptagon h into stripe
+// coordinates.
+func (c *Code) remapPlan(h int, local *core.RepairPlan) *core.RepairPlan {
+	out := &core.RepairPlan{}
+	for _, f := range local.Failed {
+		out.Failed = append(out.Failed, 7*h+f)
+	}
+	for _, tr := range local.Transfers {
+		terms := make([]core.Term, len(tr.Terms))
+		for i, t := range tr.Terms {
+			terms[i] = core.Term{Symbol: c.globalSymbol(h, t.Symbol), Coeff: t.Coeff}
+		}
+		out.Transfers = append(out.Transfers, core.Transfer{
+			From: 7*h + tr.From, To: 7*h + tr.To, Terms: terms,
+		})
+	}
+	for _, rec := range local.Recoveries {
+		out.Recoveries = append(out.Recoveries, core.Recovery{
+			Node:    7*h + rec.Node,
+			Symbol:  c.globalSymbol(h, rec.Symbol),
+			Sources: append([]int(nil), rec.Sources...),
+			Coeffs:  append([]byte(nil), rec.Coeffs...),
+			Scratch: rec.Scratch,
+		})
+	}
+	return out
+}
+
+// planGlobalRebuild recomputes Q0 and Q1 on the global-parity node from
+// partial parities: every node aggregates its assigned data edges
+// (each edge assigned to its lower endpoint so it is counted exactly
+// once) into one alpha^i-weighted and one alpha^2i-weighted block.
+func (c *Code) planGlobalRebuild() *core.RepairPlan {
+	plan := &core.RepairPlan{Failed: []int{globalNode}}
+	var srcQ0, srcQ1 []int
+	for h := 0; h < 2; h++ {
+		for v := 0; v < 7; v++ {
+			var t0, t1 []core.Term
+			for _, g := range c.assignedDataEdges(h, v) {
+				t0 = append(t0, core.Term{Symbol: g, Coeff: gf256.Exp(g)})
+				t1 = append(t1, core.Term{Symbol: g, Coeff: gf256.Exp(2 * g)})
+			}
+			if len(t0) == 0 {
+				continue
+			}
+			srcQ0 = append(srcQ0, len(plan.Transfers))
+			plan.Transfers = append(plan.Transfers, core.Transfer{From: 7*h + v, To: globalNode, Terms: t0})
+			srcQ1 = append(srcQ1, len(plan.Transfers))
+			plan.Transfers = append(plan.Transfers, core.Transfer{From: 7*h + v, To: globalNode, Terms: t1})
+		}
+	}
+	plan.Recoveries = append(plan.Recoveries,
+		core.Recovery{Node: globalNode, Symbol: globalQ0, Sources: srcQ0},
+		core.Recovery{Node: globalNode, Symbol: globalQ1, Sources: srcQ1},
+	)
+	return plan
+}
+
+// assignedDataEdges returns the stripe symbol ids of heptagon h's data
+// edges assigned to node v under the lower-endpoint orientation.
+func (c *Code) assignedDataEdges(h, v int) []int {
+	var out []int
+	for w := v + 1; w < 7; w++ {
+		t := c.hept.EdgeSymbol(v, w)
+		if t == c.hept.ParitySymbol() {
+			continue
+		}
+		out = append(out, c.globalSymbol(h, t))
+	}
+	return out
+}
+
+// planTripleInGroup repairs three failed nodes inside heptagon h. The
+// three pairwise edges among the failed trio are fully lost; everything
+// else is copied back from surviving endpoints. The lost trio is solved
+// on the lowest replacement node from three syndromes — the heptagon's
+// XOR equation and the two global-parity equations — each delivered as
+// a sum of partial parities.
+func (c *Code) planTripleInGroup(h int, trio []int) (*core.RepairPlan, error) {
+	t := append([]int(nil), trio...)
+	sort.Ints(t)
+	f1, f2, f3 := t[0], t[1], t[2]
+	plan := &core.RepairPlan{Failed: []int{7*h + f1, 7*h + f2, 7*h + f3}}
+	failed := map[int]bool{f1: true, f2: true, f3: true}
+
+	// Copy singly-lost edges back from their surviving endpoints.
+	for _, f := range t {
+		for u := 0; u < 7; u++ {
+			if u == f || failed[u] {
+				continue
+			}
+			g := c.globalSymbol(h, c.hept.EdgeSymbol(f, u))
+			ti := len(plan.Transfers)
+			plan.Transfers = append(plan.Transfers, core.Transfer{
+				From: 7*h + u, To: 7*h + f, Terms: []core.Term{{Symbol: g, Coeff: 1}},
+			})
+			plan.Recoveries = append(plan.Recoveries, core.Recovery{
+				Node: 7*h + f, Symbol: g, Sources: []int{ti},
+			})
+		}
+	}
+
+	// The three doubly-lost symbols.
+	unknowns := []int{
+		c.globalSymbol(h, c.hept.EdgeSymbol(f1, f2)),
+		c.globalSymbol(h, c.hept.EdgeSymbol(f1, f3)),
+		c.globalSymbol(h, c.hept.EdgeSymbol(f2, f3)),
+	}
+	r1 := 7*h + f1 // gathering/solving node
+
+	// Gather transfers, tagged by which syndrome they feed:
+	// group 0 = heptagon-h XOR equation, 1 = Q0 equation, 2 = Q1.
+	var sources []int
+	var groups []int
+	addTransfer := func(tr core.Transfer, group int) {
+		sources = append(sources, len(plan.Transfers))
+		groups = append(groups, group)
+		plan.Transfers = append(plan.Transfers, tr)
+	}
+
+	// Group 0: XOR partials from heptagon h's four survivors, covering
+	// all 18 known h-edges exactly once (failed-incident edges go to
+	// their surviving endpoint; survivor-survivor edges to the lower
+	// survivor).
+	var survivors []int
+	for u := 0; u < 7; u++ {
+		if !failed[u] {
+			survivors = append(survivors, u)
+		}
+	}
+	for ai, u := range survivors {
+		var terms []core.Term
+		for _, f := range t {
+			terms = append(terms, core.Term{Symbol: c.globalSymbol(h, c.hept.EdgeSymbol(u, f)), Coeff: 1})
+		}
+		for bi := ai + 1; bi < len(survivors); bi++ {
+			terms = append(terms, core.Term{Symbol: c.globalSymbol(h, c.hept.EdgeSymbol(u, survivors[bi])), Coeff: 1})
+		}
+		addTransfer(core.Transfer{From: 7*h + u, To: r1, Terms: terms}, 0)
+	}
+
+	// Groups 1 and 2: alpha-weighted partials over every KNOWN data
+	// symbol of the stripe, plus the global parities themselves. Known
+	// data edges of heptagon h are assigned to a surviving endpoint;
+	// the other heptagon uses the lower-endpoint orientation.
+	for _, eg := range []struct{ exp, group int }{{1, 1}, {2, 2}} {
+		exp, group := eg.exp, eg.group
+		for ai, u := range survivors {
+			var terms []core.Term
+			for _, f := range t {
+				tt := c.hept.EdgeSymbol(u, f)
+				if tt == c.hept.ParitySymbol() {
+					continue
+				}
+				g := c.globalSymbol(h, tt)
+				terms = append(terms, core.Term{Symbol: g, Coeff: gf256.Exp(exp * g)})
+			}
+			for bi := ai + 1; bi < len(survivors); bi++ {
+				tt := c.hept.EdgeSymbol(u, survivors[bi])
+				if tt == c.hept.ParitySymbol() {
+					continue
+				}
+				g := c.globalSymbol(h, tt)
+				terms = append(terms, core.Term{Symbol: g, Coeff: gf256.Exp(exp * g)})
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			addTransfer(core.Transfer{From: 7*h + u, To: r1, Terms: terms}, group)
+		}
+		other := 1 - h
+		for v := 0; v < 7; v++ {
+			var terms []core.Term
+			for _, g := range c.assignedDataEdges(other, v) {
+				terms = append(terms, core.Term{Symbol: g, Coeff: gf256.Exp(exp * g)})
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			addTransfer(core.Transfer{From: 7*other + v, To: r1, Terms: terms}, group)
+		}
+	}
+	addTransfer(core.Transfer{From: globalNode, To: r1, Terms: []core.Term{{Symbol: globalQ0, Coeff: 1}}}, 1)
+	addTransfer(core.Transfer{From: globalNode, To: r1, Terms: []core.Term{{Symbol: globalQ1, Coeff: 1}}}, 2)
+
+	// Solve the 3x3 system: syndrome_j = sum_m M[j][m] * unknown_m,
+	// where M[0][m] = 1 and M[row][m] is the unknown's coefficient in
+	// the Q0/Q1 equations (zero for a local parity symbol).
+	m := gf256.NewMatrix(3, 3)
+	for mi, g := range unknowns {
+		m.Set(0, mi, 1)
+		if g < K {
+			m.Set(1, mi, gf256.Exp(g))
+			m.Set(2, mi, gf256.Exp(2*g))
+		}
+	}
+	inv, err := m.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("heptagon-local: trio system singular for nodes %v: %w", trio, err)
+	}
+	for mi, g := range unknowns {
+		coeffs := make([]byte, len(sources))
+		for i := range sources {
+			coeffs[i] = inv.At(mi, groups[i])
+		}
+		// The trio edge between f1 and another failed node belongs on
+		// r1; the edge (f2, f3) is rebuilt here only for forwarding.
+		i, j := c.edgeEndpoints(h, g)
+		scratch := i != r1 && j != r1
+		plan.Recoveries = append(plan.Recoveries, core.Recovery{
+			Node: r1, Symbol: g, Sources: append([]int(nil), sources...),
+			Coeffs: coeffs, Scratch: scratch,
+		})
+		// Forward to every owner other than r1.
+		for _, owner := range []int{i, j} {
+			if owner == r1 {
+				continue
+			}
+			ti := len(plan.Transfers)
+			plan.Transfers = append(plan.Transfers, core.Transfer{
+				From: r1, To: owner, Terms: []core.Term{{Symbol: g, Coeff: 1}},
+			})
+			plan.Recoveries = append(plan.Recoveries, core.Recovery{
+				Node: owner, Symbol: g, Sources: []int{ti},
+			})
+		}
+	}
+	return plan, nil
+}
+
+// edgeEndpoints returns the stripe node ids storing symbol g of
+// heptagon h.
+func (c *Code) edgeEndpoints(h, g int) (int, int) {
+	i, j := c.hept.Edge(c.localSymbol(h, g))
+	return 7*h + i, 7*h + j
+}
+
+// PlanRead delivers data symbol g to node at. Reads are local when at
+// holds a replica; a surviving replica is copied when one exists; when
+// both replicas are down the symbol is rebuilt from the five in-group
+// partial parities (5 block transfers), exactly like the heptagon code.
+// Patterns needing the global parities (three failures in the symbol's
+// own heptagon) are not plannable as a streaming read and return an
+// error; callers fall back to full-stripe Decode.
+func (c *Code) PlanRead(symbol int, down []int, at int) (*core.ReadPlan, error) {
+	if symbol < 0 || symbol >= K {
+		return nil, fmt.Errorf("heptagon-local: invalid data symbol %d", symbol)
+	}
+	isDown := make(map[int]bool, len(down))
+	for _, d := range down {
+		if d < 0 || d >= N {
+			return nil, fmt.Errorf("heptagon-local: invalid down node %d", d)
+		}
+		isDown[d] = true
+	}
+	h := groupOf(symbol)
+	i, j := c.edgeEndpoints(h, symbol)
+	if at != core.OffCluster && !isDown[at] && (at == i || at == j) {
+		return &core.ReadPlan{Symbol: symbol, Local: true}, nil
+	}
+	for _, v := range []int{i, j} {
+		if !isDown[v] {
+			return &core.ReadPlan{
+				Symbol: symbol,
+				Transfers: []core.Transfer{
+					{From: v, To: at, Terms: []core.Term{{Symbol: symbol, Coeff: 1}}},
+				},
+			}, nil
+		}
+	}
+	// Both replicas down: in-group partial-parity read if the rest of
+	// the heptagon is up.
+	for v := 7 * h; v < 7*h+7; v++ {
+		if v != i && v != j && isDown[v] {
+			return nil, &core.ErasureError{
+				Code: c.Name(), Missing: down,
+				Reason: "three failures in the symbol's heptagon; use full decode",
+			}
+		}
+	}
+	local := c.hept.PartialParityTransfers(i-7*h, j-7*h, 0)
+	transfers := make([]core.Transfer, len(local))
+	for ti, tr := range local {
+		terms := make([]core.Term, len(tr.Terms))
+		for k, term := range tr.Terms {
+			terms[k] = core.Term{Symbol: c.globalSymbol(h, term.Symbol), Coeff: term.Coeff}
+		}
+		transfers[ti] = core.Transfer{From: 7*h + tr.From, To: at, Terms: terms}
+	}
+	return &core.ReadPlan{Symbol: symbol, Transfers: transfers}, nil
+}

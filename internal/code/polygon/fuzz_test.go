@@ -1,0 +1,68 @@
+package polygon
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzPentagonRoundTrip feeds arbitrary bytes through stripe encoding,
+// a fuzz-chosen 2-node erasure, decode, and compares. Runs its seed
+// corpus under plain `go test`; use `go test -fuzz=FuzzPentagon` for a
+// live fuzzing session.
+func FuzzPentagonRoundTrip(f *testing.F) {
+	f.Add([]byte("seed data for the pentagon fuzzer"), uint8(0), uint8(1))
+	f.Add([]byte{}, uint8(3), uint8(4))
+	f.Add(bytes.Repeat([]byte{0xA5}, 100), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, a, b uint8) {
+		c := New(5)
+		const blockSize = 8
+		// Build a full stripe from the fuzz input, zero-padded.
+		blocks := make([][]byte, c.DataSymbols())
+		for i := range blocks {
+			blocks[i] = make([]byte, blockSize)
+			off := i * blockSize
+			if off < len(data) {
+				copy(blocks[i], data[off:])
+			}
+		}
+		symbols, err := c.Encode(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1 := int(a) % 5
+		f2 := int(b) % 5
+		nc := core.MaterializeNodes(c, symbols)
+		nc.Erase(f1, f2)
+		decoded, err := c.Decode(nc.Available(c.Symbols()))
+		if err != nil {
+			t.Fatalf("decode after erasing %d,%d: %v", f1, f2, err)
+		}
+		for i := range blocks {
+			if !bytes.Equal(decoded[i], blocks[i]) {
+				t.Fatalf("block %d mismatch after erasing %d,%d", i, f1, f2)
+			}
+		}
+		// Repair must also restore everything when the two failures are
+		// distinct nodes.
+		if f1 != f2 {
+			plan, err := c.PlanRepair([]int{f1, f2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nc2 := core.MaterializeNodes(c, symbols)
+			nc2.Erase(f1, f2)
+			if err := core.ExecuteRepair(nc2, plan, blockSize); err != nil {
+				t.Fatal(err)
+			}
+			for v := range nc2 {
+				for _, s := range c.Placement().NodeSymbols[v] {
+					if !bytes.Equal(nc2[v][s], symbols[s]) {
+						t.Fatalf("node %d symbol %d wrong after fuzz repair", v, s)
+					}
+				}
+			}
+		}
+	})
+}

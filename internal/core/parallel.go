@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// EncodeFileConcurrent is EncodeFile with stripes encoded by a worker
+// pool — the encoding-duration lever for RaidNode-style bulk encoding
+// jobs, where stripes are independent by construction. workers <= 0
+// uses GOMAXPROCS. The result is identical to EncodeFile.
+func (st *Striper) EncodeFileConcurrent(data []byte, workers int) ([]EncodedStripe, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	k := st.Code.DataSymbols()
+	count := st.StripeCount(len(data))
+	if count == 0 {
+		return nil, nil
+	}
+	if workers > count {
+		workers = count
+	}
+	stripes := make([]EncodedStripe, count)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < count; i += workers {
+				blocks := make([][]byte, k)
+				for j := 0; j < k; j++ {
+					blocks[j] = make([]byte, st.BlockSize)
+					off := (i*k + j) * st.BlockSize
+					if off < len(data) {
+						copy(blocks[j], data[off:])
+					}
+				}
+				symbols, err := st.Code.Encode(blocks)
+				if err != nil {
+					errs[w] = fmt.Errorf("core: encoding stripe %d: %w", i, err)
+					return
+				}
+				stripes[i] = EncodedStripe{Index: i, Symbols: symbols}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stripes, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Striper splits files into fixed-size blocks, groups blocks into
+// stripes of k = code.DataSymbols() blocks (zero-padding the tail, as
+// HDFS-RAID does when raiding a file), and encodes or reconstructs each
+// stripe independently.
+type Striper struct {
+	Code      Code
+	BlockSize int
+}
+
+// NewStriper returns a striper for the given code and block size.
+func NewStriper(c Code, blockSize int) (*Striper, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("core: invalid block size %d", blockSize)
+	}
+	return &Striper{Code: c, BlockSize: blockSize}, nil
+}
+
+// StripeCount returns the number of stripes needed for a file of the
+// given length.
+func (st *Striper) StripeCount(fileLen int) int {
+	if fileLen == 0 {
+		return 0
+	}
+	k := st.Code.DataSymbols()
+	blocks := (fileLen + st.BlockSize - 1) / st.BlockSize
+	return (blocks + k - 1) / k
+}
+
+// EncodedStripe is the encoded form of one stripe: the symbol buffers in
+// code order (data first, then parities).
+type EncodedStripe struct {
+	Index   int
+	Symbols [][]byte
+}
+
+// EncodeFile splits data into stripes and encodes each, returning the
+// stripes in order. The file length must be recorded by the caller to
+// strip padding on reconstruction.
+func (st *Striper) EncodeFile(data []byte) ([]EncodedStripe, error) {
+	k := st.Code.DataSymbols()
+	count := st.StripeCount(len(data))
+	stripes := make([]EncodedStripe, 0, count)
+	for i := 0; i < count; i++ {
+		blocks := make([][]byte, k)
+		for j := 0; j < k; j++ {
+			blocks[j] = make([]byte, st.BlockSize)
+			off := (i*k + j) * st.BlockSize
+			if off < len(data) {
+				copy(blocks[j], data[off:])
+			}
+		}
+		symbols, err := st.Code.Encode(blocks)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding stripe %d: %w", i, err)
+		}
+		stripes = append(stripes, EncodedStripe{Index: i, Symbols: symbols})
+	}
+	return stripes, nil
+}
+
+// DecodeFile reconstructs the original file of length fileLen from
+// (possibly degraded) stripes. Each stripe's symbol vector may have nil
+// entries for erased symbols, as long as the pattern is decodable.
+func (st *Striper) DecodeFile(stripes []EncodedStripe, fileLen int) ([]byte, error) {
+	if want := st.StripeCount(fileLen); len(stripes) != want {
+		return nil, fmt.Errorf("core: have %d stripes, want %d for %d bytes", len(stripes), want, fileLen)
+	}
+	k := st.Code.DataSymbols()
+	out := make([]byte, 0, fileLen)
+	for i, s := range stripes {
+		if s.Index != i {
+			return nil, fmt.Errorf("core: stripe %d out of order (index %d)", i, s.Index)
+		}
+		data, err := st.Code.Decode(s.Symbols)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding stripe %d: %w", i, err)
+		}
+		for j := 0; j < k && len(out) < fileLen; j++ {
+			need := fileLen - len(out)
+			if need > st.BlockSize {
+				need = st.BlockSize
+			}
+			out = append(out, data[j][:need]...)
+		}
+	}
+	return out, nil
+}

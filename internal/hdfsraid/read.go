@@ -1,0 +1,70 @@
+package hdfsraid
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gf256"
+)
+
+// ReadBlock serves one data block of a stored file the way a degraded
+// map task would: a live replica first, then — if both replicas are
+// unreadable — through the code's partial-parity read plan, computing
+// each payload from the blocks actually on disk at its source node.
+// It returns the block bytes and the number of block-unit transfers
+// the read cost (0 for a healthy replica read).
+func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) {
+	fi, ok := s.manifest.Files[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("hdfsraid: no such file %q", name)
+	}
+	if stripe < 0 || stripe >= fi.Stripes {
+		return nil, 0, fmt.Errorf("hdfsraid: stripe %d out of range", stripe)
+	}
+	if symbol < 0 || symbol >= s.code.DataSymbols() {
+		return nil, 0, fmt.Errorf("hdfsraid: symbol %d is not a data symbol", symbol)
+	}
+	p := s.code.Placement()
+
+	// Fast path: a healthy replica.
+	var downNodes []int
+	for _, v := range p.SymbolNodes[symbol] {
+		data, err := readBlock(s.blockPath(v, name, stripe, symbol), s.manifest.BlockSize)
+		if err == nil {
+			return data, 0, nil
+		}
+		downNodes = append(downNodes, v)
+	}
+
+	// Degraded path: plan a partial-parity read around the dead
+	// replicas.
+	rp, ok := s.code.(core.ReadPlanner)
+	if !ok {
+		return nil, 0, fmt.Errorf("hdfsraid: code %s cannot plan reads", s.code.Name())
+	}
+	plan, err := rp.PlanRead(symbol, downNodes, core.OffCluster)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]byte, s.manifest.BlockSize)
+	for i, tr := range plan.Transfers {
+		payload := make([]byte, s.manifest.BlockSize)
+		for _, term := range tr.Terms {
+			data, err := readBlock(s.blockPath(tr.From, name, stripe, term.Symbol), s.manifest.BlockSize)
+			if err != nil {
+				if os.IsNotExist(err) {
+					return nil, 0, fmt.Errorf("hdfsraid: degraded read needs node %d symbol %d, which is also gone", tr.From, term.Symbol)
+				}
+				return nil, 0, err
+			}
+			gf256.MulAddSlice(term.Coeff, data, payload)
+		}
+		coeff := byte(1)
+		if plan.Coeffs != nil {
+			coeff = plan.Coeffs[i]
+		}
+		gf256.MulAddSlice(coeff, payload, out)
+	}
+	return out, plan.Bandwidth(), nil
+}

@@ -1,0 +1,410 @@
+package hdfsraid
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+)
+
+const blockSize = 1 << 12
+
+func newStore(t *testing.T, code string) *Store {
+	t.Helper()
+	s, err := Create(t.TempDir(), code, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomFile(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	rng.Read(data)
+	return data
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for _, code := range []string{"pentagon", "heptagon", "heptagon-local", "raid+m-10-9", "rs-9-6", "2-rep", "3-rep"} {
+		t.Run(code, func(t *testing.T) {
+			s := newStore(t, code)
+			data := randomFile(t, 3*blockSize*s.Code().DataSymbols()/2, 1)
+			if err := s.Put("f", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round trip mismatch")
+			}
+		})
+	}
+}
+
+func TestCreateRejectsExisting(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, "pentagon", blockSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, "pentagon", blockSize); err == nil {
+		t.Fatal("Create overwrote an existing store")
+	}
+}
+
+func TestCreateUnknownCode(t *testing.T) {
+	if _, err := Create(t.TempDir(), "nope", blockSize); err == nil {
+		t.Fatal("accepted unknown code")
+	}
+}
+
+func TestOpenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "pentagon", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomFile(t, 5000, 2)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Code().Name() != "pentagon" {
+		t.Fatal("manifest code lost")
+	}
+	got, err := s2.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reopened store returns wrong data")
+	}
+	if fi, ok := s2.Info("f"); !ok || fi.Length != 5000 {
+		t.Fatalf("Info wrong: %+v %v", fi, ok)
+	}
+	if files := s2.Files(); len(files) != 1 || files[0] != "f" {
+		t.Fatalf("Files = %v", files)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("opened a non-existent store")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.Put("a/b", nil); err == nil {
+		t.Fatal("accepted a path as a name")
+	}
+	if err := s.Put("", nil); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if err := s.Put("f", randomFile(t, 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("f", randomFile(t, 100, 4)); err == nil {
+		t.Fatal("accepted duplicate name")
+	}
+}
+
+func TestGetMissingFile(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if _, err := s.Get("nope"); err == nil {
+		t.Fatal("Get returned data for a missing file")
+	}
+}
+
+func TestGetSurvivesKilledNodes(t *testing.T) {
+	s := newStore(t, "pentagon")
+	data := randomFile(t, 4*blockSize*9, 5)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read wrong")
+	}
+}
+
+func TestGetFailsBeyondTolerance(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.Put("f", randomFile(t, blockSize*9, 6)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1, 2} {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Get("f"); err == nil {
+		t.Fatal("read succeeded with 3 of 5 nodes dead")
+	}
+}
+
+func TestRepairRestoresKilledNodes(t *testing.T) {
+	for _, tc := range []struct {
+		code   string
+		failed []int
+	}{
+		{"pentagon", []int{1}},
+		{"pentagon", []int{1, 3}},
+		{"heptagon", []int{0, 6}},
+		{"heptagon-local", []int{0, 1, 2}},
+		{"raid+m-10-9", []int{4, 5}},
+		{"rs-9-6", []int{2, 7}},
+	} {
+		t.Run(tc.code, func(t *testing.T) {
+			s := newStore(t, tc.code)
+			data := randomFile(t, 2*blockSize*s.Code().DataSymbols(), 7)
+			if err := s.Put("f", data); err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range tc.failed {
+				if err := s.KillNode(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := s.Repair(tc.failed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.BlocksRestored == 0 || rep.Transfers == 0 {
+				t.Fatalf("empty repair report: %+v", rep)
+			}
+			fsck, err := s.Fsck()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fsck.Healthy() {
+				t.Fatalf("store unhealthy after repair: %+v", fsck)
+			}
+			got, err := s.Get("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("data wrong after repair")
+			}
+		})
+	}
+}
+
+func TestRepairBandwidthMatchesPlan(t *testing.T) {
+	s := newStore(t, "pentagon")
+	// Exactly 2 stripes.
+	if err := s.Put("f", randomFile(t, 2*blockSize*9, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1} {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Repair([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 block-units per stripe (the paper's number), 2 stripes.
+	if rep.Transfers != 20 {
+		t.Fatalf("repair moved %d block-units, want 20", rep.Transfers)
+	}
+	if rep.Stripes != 2 {
+		t.Fatalf("repair touched %d stripes, want 2", rep.Stripes)
+	}
+}
+
+func TestFsckDetectsDamage(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.Put("f", randomFile(t, blockSize*9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() || rep.Blocks != 20 {
+		t.Fatalf("fresh store unhealthy: %+v", rep)
+	}
+	if err := s.CorruptBlock(s.Code().Placement().SymbolNodes[0][0], "f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillNode(4); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt != 1 {
+		t.Fatalf("fsck corrupt = %d, want 1", rep.Corrupt)
+	}
+	if rep.Missing != 4 {
+		t.Fatalf("fsck missing = %d, want 4 (one pentagon node)", rep.Missing)
+	}
+}
+
+func TestGetDecodesAroundCorruption(t *testing.T) {
+	s := newStore(t, "pentagon")
+	data := randomFile(t, blockSize*9, 10)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt ONE replica of symbol 0: Get should fall back to the
+	// other replica.
+	holders := s.Code().Placement().SymbolNodes[0]
+	if err := s.CorruptBlock(holders[0], "f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read through corruption wrong")
+	}
+	// Corrupt the second replica too: now symbol 0 is gone, still
+	// decodable via the XOR parity.
+	if err := s.CorruptBlock(holders[1], "f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("parity decode after double corruption wrong")
+	}
+}
+
+func TestKillNodeValidation(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.KillNode(9); err == nil {
+		t.Fatal("killed an invalid node")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file read back %d bytes", len(got))
+	}
+}
+
+func TestCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, "pentagon", blockSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("opened a store with corrupt manifest")
+	}
+}
+
+func TestReadBlockHealthyAndDegraded(t *testing.T) {
+	s := newStore(t, "pentagon")
+	data := randomFile(t, blockSize*9, 20)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy read: zero transfers.
+	got, cost, err := s.ReadBlock("f", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("healthy read cost %d transfers", cost)
+	}
+	if !bytes.Equal(got, data[:blockSize]) {
+		t.Fatal("healthy read wrong")
+	}
+	// Kill both replica holders of symbol 0: the degraded read costs
+	// the paper's 3 partial-parity transfers.
+	for _, v := range s.Code().Placement().SymbolNodes[0] {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, cost, err = s.ReadBlock("f", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 {
+		t.Fatalf("degraded read cost %d transfers, want 3", cost)
+	}
+	if !bytes.Equal(got, data[:blockSize]) {
+		t.Fatal("degraded read wrong")
+	}
+}
+
+func TestReadBlockValidation(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.Put("f", randomFile(t, blockSize*9, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadBlock("nope", 0, 0); err == nil {
+		t.Fatal("read of missing file")
+	}
+	if _, _, err := s.ReadBlock("f", 5, 0); err == nil {
+		t.Fatal("read of out-of-range stripe")
+	}
+	if _, _, err := s.ReadBlock("f", 0, 9); err == nil {
+		t.Fatal("read of parity symbol")
+	}
+}
+
+func TestReadBlockRAIDMDegradedCostsNine(t *testing.T) {
+	s := newStore(t, "raid+m-10-9")
+	data := randomFile(t, blockSize*9, 22)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Code().Placement().SymbolNodes[0] {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, cost, err := s.ReadBlock("f", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 9 {
+		t.Fatalf("RAID+m degraded read cost %d, want 9", cost)
+	}
+	if !bytes.Equal(got, data[:blockSize]) {
+		t.Fatal("RAID+m degraded read wrong")
+	}
+}

@@ -1,0 +1,196 @@
+// Package locality reproduces the paper's Figure 3: map-task data
+// locality as a function of job load, for 2-rep, pentagon and heptagon
+// placements under the delay scheduler, maximum matching, and the
+// modified peeling algorithm, with mu = 2, 4 or 8 map slots per node.
+//
+// The simulation follows Section 3.2's model: a cluster of N nodes with
+// mu map slots each stores many encoded stripes; a job at load L
+// consists of T = L*N*mu map tasks on distinct random data blocks; each
+// task can run locally on the nodes holding a replica of its block.
+// The coding scheme determines the replica layout — and crucially, the
+// pentagon-family codes concentrate the blocks of one stripe on few
+// nodes (Fig. 2), which is exactly what depresses their locality at low
+// slot counts.
+package locality
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// StoredBlock is one data block in the simulated cluster and the nodes
+// holding its replicas.
+type StoredBlock struct {
+	Stripe   int
+	Replicas []int
+}
+
+// Layout is the set of data blocks a cluster stores under one coding
+// scheme.
+type Layout struct {
+	Code    string
+	Nodes   int
+	Blocks  []StoredBlock
+	Stripes [][]int // stripe -> block indices
+}
+
+// GenerateLayout stripes data across a cluster of the given size with
+// the named code until at least minBlocks data blocks are stored. Each
+// stripe is placed on a uniformly random subset of nodes (the code's
+// stripe-local node i becoming the chosen cluster node), mirroring how
+// HDFS-RAID would scatter stripes.
+func GenerateLayout(codeName string, nodes, minBlocks int, rng *rand.Rand) (*Layout, error) {
+	c, err := core.New(codeName)
+	if err != nil {
+		return nil, err
+	}
+	if c.Nodes() > nodes {
+		return nil, fmt.Errorf("locality: code %s needs %d nodes, cluster has %d", codeName, c.Nodes(), nodes)
+	}
+	p := c.Placement()
+	layout := &Layout{Code: codeName, Nodes: nodes}
+	for len(layout.Blocks) < minBlocks {
+		chosen := rng.Perm(nodes)[:c.Nodes()]
+		stripe := len(layout.Stripes)
+		var blockIdx []int
+		for s := 0; s < c.DataSymbols(); s++ {
+			replicas := make([]int, len(p.SymbolNodes[s]))
+			for i, v := range p.SymbolNodes[s] {
+				replicas[i] = chosen[v]
+			}
+			blockIdx = append(blockIdx, len(layout.Blocks))
+			layout.Blocks = append(layout.Blocks, StoredBlock{Stripe: stripe, Replicas: replicas})
+		}
+		layout.Stripes = append(layout.Stripes, blockIdx)
+	}
+	return layout, nil
+}
+
+// SampleJob draws a job of `tasks` map tasks. A MapReduce job reads
+// whole files, so the sample is composed of whole random stripes (all
+// data blocks of each selected stripe), with the final stripe truncated
+// at random to hit the exact task count. Reading stripes wholesale is
+// what exposes the concentration penalty of the array codes: a heptagon
+// stripe brings 20 tasks whose replicas all live on just 7 nodes.
+func (l *Layout) SampleJob(tasks int, rng *rand.Rand) (*sched.Problem, error) {
+	if tasks > len(l.Blocks) {
+		return nil, fmt.Errorf("locality: job of %d tasks exceeds %d stored blocks", tasks, len(l.Blocks))
+	}
+	p := &sched.Problem{Nodes: l.Nodes}
+	for _, si := range rng.Perm(len(l.Stripes)) {
+		if len(p.Tasks) == tasks {
+			break
+		}
+		blocks := l.Stripes[si]
+		if remaining := tasks - len(p.Tasks); remaining < len(blocks) {
+			subset := rng.Perm(len(blocks))[:remaining]
+			for _, bi := range subset {
+				b := blocks[bi]
+				p.Tasks = append(p.Tasks, sched.Task{Block: b, Replicas: l.Blocks[b].Replicas})
+			}
+			break
+		}
+		for _, b := range blocks {
+			p.Tasks = append(p.Tasks, sched.Task{Block: b, Replicas: l.Blocks[b].Replicas})
+		}
+	}
+	return p, nil
+}
+
+// Config describes one locality sweep.
+type Config struct {
+	Nodes      int
+	Slots      int       // mu
+	Loads      []float64 // e.g. 0.25, 0.5, 0.75, 1.0
+	Codes      []string
+	Schedulers []sched.Scheduler
+	Trials     int
+	// BlocksFactor scales how much data the cluster stores relative to
+	// the largest job: stored blocks >= BlocksFactor * Nodes * Slots.
+	BlocksFactor float64
+	Seed         int64
+}
+
+// DefaultConfig returns the Figure 3 setting for one mu: a 25-node
+// cluster, loads 25-100%, the three codes under delay scheduling and
+// maximum matching.
+func DefaultConfig(slots int) Config {
+	return Config{
+		Nodes:        25,
+		Slots:        slots,
+		Loads:        []float64{0.25, 0.5, 0.75, 1.0},
+		Codes:        []string{"2-rep", "pentagon", "heptagon"},
+		Schedulers:   []sched.Scheduler{sched.Delay{DelayRounds: 1}, sched.MaxMatch{}},
+		Trials:       40,
+		BlocksFactor: 3,
+		Seed:         1,
+	}
+}
+
+// Point is one measured series point.
+type Point struct {
+	Code      string
+	Scheduler string
+	Slots     int
+	Load      float64
+	Locality  float64 // mean over trials, in [0, 1]
+}
+
+// Run executes the sweep and returns one point per
+// (code, scheduler, load).
+func Run(cfg Config) ([]Point, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("locality: trials must be positive")
+	}
+	if cfg.BlocksFactor <= 0 {
+		cfg.BlocksFactor = 3
+	}
+	minBlocks := int(cfg.BlocksFactor * float64(cfg.Nodes*cfg.Slots))
+	var points []Point
+	for _, codeName := range cfg.Codes {
+		for _, s := range cfg.Schedulers {
+			for _, load := range cfg.Loads {
+				tasks := int(load*float64(cfg.Nodes*cfg.Slots) + 0.5)
+				sum := 0.0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
+					layout, err := GenerateLayout(codeName, cfg.Nodes, minBlocks, rng)
+					if err != nil {
+						return nil, err
+					}
+					job, err := layout.SampleJob(tasks, rng)
+					if err != nil {
+						return nil, err
+					}
+					job.Slots = cfg.Slots
+					a := s.Assign(job, rng)
+					if err := sched.Validate(job, a); err != nil {
+						return nil, fmt.Errorf("locality: %s/%s: %w", codeName, s.Name(), err)
+					}
+					sum += a.Locality()
+				}
+				points = append(points, Point{
+					Code:      codeName,
+					Scheduler: s.Name(),
+					Slots:     cfg.Slots,
+					Load:      load,
+					Locality:  sum / float64(cfg.Trials),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Lookup finds the point for a (code, scheduler, load) triple.
+func Lookup(points []Point, code, scheduler string, load float64) (Point, bool) {
+	for _, p := range points {
+		if p.Code == code && p.Scheduler == scheduler && p.Load == load {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

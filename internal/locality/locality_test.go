@@ -1,0 +1,283 @@
+package locality
+
+import (
+	"math/rand"
+	"testing"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+	"repro/internal/sched"
+)
+
+func TestGenerateLayoutShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, code := range []string{"2-rep", "3-rep", "pentagon", "heptagon", "heptagon-local", "raid+m-10-9"} {
+		layout, err := GenerateLayout(code, 25, 100, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", code, err)
+		}
+		if len(layout.Blocks) < 100 {
+			t.Errorf("%s: only %d blocks", code, len(layout.Blocks))
+		}
+		for i, b := range layout.Blocks {
+			seen := map[int]bool{}
+			for _, r := range b.Replicas {
+				if r < 0 || r >= 25 {
+					t.Fatalf("%s block %d: replica on invalid node %d", code, i, r)
+				}
+				if seen[r] {
+					t.Fatalf("%s block %d: two replicas on node %d", code, i, r)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestGenerateLayoutReplicaCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for code, want := range map[string]int{"2-rep": 2, "3-rep": 3, "pentagon": 2, "heptagon": 2} {
+		layout, err := GenerateLayout(code, 25, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range layout.Blocks {
+			if len(b.Replicas) != want {
+				t.Fatalf("%s block %d has %d replicas, want %d", code, i, len(b.Replicas), want)
+			}
+		}
+	}
+}
+
+func TestGenerateLayoutRejectsSmallCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := GenerateLayout("heptagon", 5, 10, rng); err == nil {
+		t.Fatal("heptagon accepted a 5-node cluster")
+	}
+	if _, err := GenerateLayout("nope", 25, 10, rng); err == nil {
+		t.Fatal("accepted unknown code")
+	}
+}
+
+func TestPentagonConcentration(t *testing.T) {
+	// The pentagon stripes concentrate 3-4 data blocks per node (Fig 2);
+	// verify that a single stripe's blocks touch exactly 5 nodes.
+	rng := rand.New(rand.NewSource(4))
+	layout, err := GenerateLayout("pentagon", 25, 9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]int{}
+	for _, b := range layout.Blocks[:9] {
+		for _, r := range b.Replicas {
+			nodes[r]++
+		}
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("pentagon stripe touches %d nodes, want 5", len(nodes))
+	}
+	for n, c := range nodes {
+		if c < 3 || c > 4 {
+			t.Fatalf("node %d holds %d data blocks of the stripe, want 3 or 4", n, c)
+		}
+	}
+}
+
+func TestSampleJobDistinctBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	layout, err := GenerateLayout("2-rep", 10, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := layout.SampleJob(20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, task := range job.Tasks {
+		if seen[task.Block] {
+			t.Fatal("job samples a block twice")
+		}
+		seen[task.Block] = true
+	}
+	if _, err := layout.SampleJob(10_000, rng); err == nil {
+		t.Fatal("SampleJob accepted more tasks than blocks")
+	}
+}
+
+func runQuick(t *testing.T, slots int) []Point {
+	t.Helper()
+	cfg := DefaultConfig(slots)
+	cfg.Trials = 12
+	cfg.Schedulers = []sched.Scheduler{sched.Delay{DelayRounds: 1}, sched.MaxMatch{}, sched.Peeling{}}
+	points, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func get(t *testing.T, pts []Point, code, schedName string, load float64) float64 {
+	t.Helper()
+	p, ok := Lookup(pts, code, schedName, load)
+	if !ok {
+		t.Fatalf("missing point %s/%s@%v", code, schedName, load)
+	}
+	return p.Locality
+}
+
+// TestFigure3ShapeMu2 verifies the headline qualitative result of
+// Fig. 3's first panel: with 2 map slots per node at full load the
+// pentagon-family codes lose significant locality versus 2-rep, and
+// the heptagon (denser concentration) loses more than the pentagon.
+func TestFigure3ShapeMu2(t *testing.T) {
+	pts := runQuick(t, 2)
+	rep := get(t, pts, "2-rep", "delay", 1.0)
+	pent := get(t, pts, "pentagon", "delay", 1.0)
+	hept := get(t, pts, "heptagon", "delay", 1.0)
+	if !(rep > pent && pent > hept) {
+		t.Errorf("mu=2 full-load ordering wrong: 2-rep %.3f, pentagon %.3f, heptagon %.3f", rep, pent, hept)
+	}
+	if rep-pent < 0.05 {
+		t.Errorf("pentagon should lose significant locality at mu=2: 2-rep %.3f vs pentagon %.3f", rep, pent)
+	}
+}
+
+// TestFigure3LocalityImprovesWithSlots: the loss in locality decreases
+// with more map slots per node (the paper's central observation).
+func TestFigure3LocalityImprovesWithSlots(t *testing.T) {
+	p2 := get(t, runQuick(t, 2), "heptagon", "delay", 1.0)
+	p8 := get(t, runQuick(t, 8), "heptagon", "delay", 1.0)
+	if p8 <= p2 {
+		t.Errorf("heptagon locality at mu=8 (%.3f) not better than mu=2 (%.3f)", p8, p2)
+	}
+}
+
+// TestFigure3NinetyPercentAtMu8: "both the pentagon and heptagon-local
+// codes have locality greater than 90% at 100% load, with 8 map slots".
+// Maximum matching meets the 90% figure exactly; the one-wave delay
+// model used here is a 2-4 point underestimate of the time-based
+// scheduler (see EXPERIMENTS.md), so it is held to 85%.
+func TestFigure3NinetyPercentAtMu8(t *testing.T) {
+	pts := runQuick(t, 8)
+	for _, code := range []string{"pentagon", "heptagon"} {
+		if l := get(t, pts, code, "max-match", 1.0); l < 0.9 {
+			t.Errorf("%s max-match locality at mu=8, 100%% load = %.3f, want > 0.9", code, l)
+		}
+		if l := get(t, pts, code, "delay", 1.0); l < 0.85 {
+			t.Errorf("%s delay locality at mu=8, 100%% load = %.3f, want > 0.85", code, l)
+		}
+	}
+}
+
+// TestFigure3MaxMatchDominatesDelay: the benchmark never loses to the
+// delay scheduler.
+func TestFigure3MaxMatchDominatesDelay(t *testing.T) {
+	pts := runQuick(t, 4)
+	for _, code := range []string{"2-rep", "pentagon", "heptagon"} {
+		for _, load := range []float64{0.25, 0.5, 0.75, 1.0} {
+			mm := get(t, pts, code, "max-match", load)
+			ds := get(t, pts, code, "delay", load)
+			if mm < ds-0.02 { // small slack for independent trial noise
+				t.Errorf("%s@%v: max-match %.3f < delay %.3f", code, load, mm, ds)
+			}
+		}
+	}
+}
+
+// TestFigure3PeelingBetweenDelayAndMaxMatch reproduces the bottom
+// panel: peeling improves on the delay scheduler.
+func TestFigure3PeelingBetweenDelayAndMaxMatch(t *testing.T) {
+	pts := runQuick(t, 4)
+	for _, code := range []string{"pentagon", "heptagon"} {
+		peel := get(t, pts, code, "peeling", 1.0)
+		ds := get(t, pts, code, "delay", 1.0)
+		mm := get(t, pts, code, "max-match", 1.0)
+		if peel < ds-0.02 {
+			t.Errorf("%s: peeling %.3f below delay %.3f", code, peel, ds)
+		}
+		if peel > mm+0.02 {
+			t.Errorf("%s: peeling %.3f above max-match %.3f", code, peel, mm)
+		}
+	}
+}
+
+// TestLowLoadNearPerfectLocality: at 25% load every scheme should be
+// close to fully local, as in all Fig. 3 panels.
+func TestLowLoadNearPerfectLocality(t *testing.T) {
+	pts := runQuick(t, 4)
+	for _, code := range []string{"2-rep", "pentagon", "heptagon"} {
+		if l := get(t, pts, code, "delay", 0.25); l < 0.95 {
+			t.Errorf("%s at 25%% load: locality %.3f < 0.95", code, l)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Trials = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted zero trials")
+	}
+	cfg = DefaultConfig(2)
+	cfg.Codes = []string{"nope"}
+	cfg.Trials = 1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted unknown code")
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	if _, ok := Lookup(nil, "x", "y", 1); ok {
+		t.Fatal("Lookup found a point in nil slice")
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Trials = 5
+	cfg.Codes = []string{"pentagon"}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic results at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRSColdDataLocality reproduces the introduction's point about
+// single-copy erasure codes: with one replica per block, Reed-Solomon
+// locality collapses under contention, which is why RS is "limited to
+// the storage of cold data" while the double-replication codes keep
+// MapReduce viable.
+func TestRSColdDataLocality(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Trials = 12
+	cfg.Codes = []string{"rs-14-10", "pentagon", "2-rep"}
+	cfg.Schedulers = []sched.Scheduler{sched.Delay{DelayRounds: 1}}
+	pts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := get(t, pts, "rs-14-10", "delay", 1.0)
+	rep := get(t, pts, "2-rep", "delay", 1.0)
+	if rs >= rep {
+		t.Errorf("single-copy RS locality %.3f should trail 2-rep %.3f", rs, rep)
+	}
+	// Noteworthy negative result (recorded in EXPERIMENTS.md): RS's
+	// one-block-per-node layout spreads so evenly that its locality can
+	// exceed the pentagon's concentrated placement; what actually
+	// disqualifies RS for hot data is its degree-1 schedule rigidity
+	// against replication and its k-block degraded reads (see the rs
+	// package tests), not raw locality.
+}

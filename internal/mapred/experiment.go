@@ -1,0 +1,141 @@
+package mapred
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ExperimentConfig describes a Figure 4/5-style sweep: one Terasort-like
+// job per (code, load) cell, repeated over trials, on a fixed cluster
+// set-up.
+type ExperimentConfig struct {
+	Cluster cluster.Config
+	Codes   []string
+	Loads   []float64
+	Job     string // "terasort", "wordcount", "grep"
+	Trials  int
+	Params  Params
+	// Failures marks this many nodes down before the job runs (the
+	// paper's future-work degraded-operation experiment).
+	Failures int
+	Seed     int64
+}
+
+// Figure4Config reproduces set-up 1: 25 nodes with 2 map slots, loads
+// 50-100%, all four schemes.
+func Figure4Config() ExperimentConfig {
+	return ExperimentConfig{
+		Cluster: cluster.Setup1(),
+		Codes:   []string{"3-rep", "2-rep", "pentagon", "heptagon"},
+		Loads:   []float64{0.5, 0.75, 1.0},
+		Job:     "terasort",
+		Trials:  10,
+		Params:  DefaultParams(),
+		Seed:    1,
+	}
+}
+
+// Figure5Config reproduces set-up 2: 9 nodes with 4 map slots, loads
+// 25-100%, 3-rep/2-rep/pentagon (the heptagon needs 7 of 9 nodes per
+// stripe and was not run in the paper's second set-up either).
+func Figure5Config() ExperimentConfig {
+	return ExperimentConfig{
+		Cluster: cluster.Setup2(),
+		Codes:   []string{"3-rep", "2-rep", "pentagon"},
+		Loads:   []float64{0.25, 0.5, 0.75, 1.0},
+		Job:     "terasort",
+		Trials:  10,
+		Params:  DefaultParams(),
+		Seed:    2,
+	}
+}
+
+// ResultPoint is one experiment cell, averaged over trials.
+type ResultPoint struct {
+	Code         string
+	Load         float64
+	JobSeconds   float64
+	TrafficGB    float64 // remote HDFS-read traffic, the per-code metric
+	ShuffleGB    float64
+	Locality     float64
+	DegradedMaps float64
+}
+
+// RunExperiment executes the sweep.
+func RunExperiment(cfg ExperimentConfig) ([]ResultPoint, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("mapred: trials must be positive")
+	}
+	var out []ResultPoint
+	for _, codeName := range cfg.Codes {
+		c, err := core.New(codeName)
+		if err != nil {
+			return nil, err
+		}
+		for _, load := range cfg.Loads {
+			maps := workload.MapsForLoad(load, cfg.Cluster.Nodes, cfg.Cluster.MapSlots)
+			reduces := cfg.Cluster.Nodes * cfg.Cluster.ReduceSlots
+			spec, err := workload.ByName(cfg.Job, maps, reduces)
+			if err != nil {
+				return nil, err
+			}
+			point := ResultPoint{Code: codeName, Load: load}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*104729))
+				file, err := cluster.PlaceFile(c, cfg.Cluster.Nodes, maps, rng)
+				if err != nil {
+					return nil, err
+				}
+				var down []int
+				if cfg.Failures > 0 {
+					down = rng.Perm(cfg.Cluster.Nodes)[:cfg.Failures]
+				}
+				m, err := Run(cfg.Cluster, file, spec, cfg.Params, down, rng)
+				if err != nil {
+					return nil, fmt.Errorf("%s@%.0f%% trial %d: %w", codeName, load*100, trial, err)
+				}
+				point.JobSeconds += m.JobSeconds
+				point.TrafficGB += m.HDFSReadBytes / cluster.GB
+				point.ShuffleGB += m.ShuffleBytes / cluster.GB
+				point.Locality += m.Locality()
+				point.DegradedMaps += float64(m.DegradedMaps)
+			}
+			n := float64(cfg.Trials)
+			point.JobSeconds /= n
+			point.TrafficGB /= n
+			point.ShuffleGB /= n
+			point.Locality /= n
+			point.DegradedMaps /= n
+			out = append(out, point)
+		}
+	}
+	return out, nil
+}
+
+// LookupResult finds the cell for a (code, load) pair.
+func LookupResult(points []ResultPoint, code string, load float64) (ResultPoint, bool) {
+	for _, p := range points {
+		if p.Code == code && p.Load == load {
+			return p, true
+		}
+	}
+	return ResultPoint{}, false
+}
+
+// FormatResults renders the sweep as the three series of Figure 4
+// (or the two of Figure 5).
+func FormatResults(points []ResultPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %10s %12s %12s %10s\n",
+		"Code", "Load", "JobTime(s)", "Traffic(GB)", "Shuffle(GB)", "Locality")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s %5.0f%% %10.1f %12.2f %12.2f %9.1f%%\n",
+			p.Code, p.Load*100, p.JobSeconds, p.TrafficGB, p.ShuffleGB, p.Locality*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package reliability
+
+import "fmt"
+
+// Params holds the failure/repair model parameters shared by all codes.
+// The defaults follow the classic very-large-storage-system numbers of
+// Xin et al.: node MTTF of 10^6 hours and a six-hour node rebuild.
+type Params struct {
+	// NodeMTTFHours is the mean time to (permanent) failure of one
+	// node; failures are exponential with rate 1/NodeMTTFHours.
+	NodeMTTFHours float64
+	// NodeRepairHours is the mean time to rebuild one failed node whose
+	// blocks can be restored by plain replica copies; repairs run in
+	// parallel, each completing at rate 1/NodeRepairHours.
+	NodeRepairHours float64
+	// RepairCostScaling slows each repair by the ratio of repair-plan
+	// network transfers to blocks restored, so schemes without partial
+	// parities (RAID+m rebuilding a doubly-lost block from m whole
+	// blocks) repair proportionally slower. This is the Section 3.1
+	// "intrinsic advantage" of the array codes and is what lets the
+	// heptagon-local code overtake (10,9) RAID+m in Table 1.
+	RepairCostScaling bool
+	// DataBlocks is the total number of data blocks the system stores.
+	DataBlocks int
+	// PerStripeGroups selects how the group MTTDL is scaled to the
+	// system: false (default, matching the paper's replication-family
+	// values) divides by DataBlocks; true divides by the number of
+	// stripes, ceil(DataBlocks/k).
+	PerStripeGroups bool
+	// SystemNodes is the cluster size the paper assumes (25). It only
+	// gates feasibility: codes longer than the cluster are flagged.
+	SystemNodes int
+}
+
+// DefaultParams returns the calibration used for Table 1: 10^6-hour
+// node MTTF, 6-hour parallel node repair with repair-cost scaling, and
+// 900 stored data blocks on a 25-node system.
+func DefaultParams() Params {
+	return Params{
+		NodeMTTFHours:     1e6,
+		NodeRepairHours:   6,
+		RepairCostScaling: true,
+		DataBlocks:        900,
+		SystemNodes:       25,
+	}
+}
+
+func (p Params) lambda() float64 { return 1 / p.NodeMTTFHours }
+func (p Params) mu() float64     { return 1 / p.NodeRepairHours }
+
+// repairRate returns the per-node repair rate for a state whose repair
+// plan moves `transfers` block-units to restore `restored` blocks.
+func (p Params) repairRate(transfers, restored int) float64 {
+	if !p.RepairCostScaling || transfers == 0 {
+		return p.mu()
+	}
+	return p.mu() * float64(restored) / float64(transfers)
+}
+
+// HoursPerYear converts chain time units (hours) to the years reported
+// in Table 1.
+const HoursPerYear = 24 * 365.25
+
+// ReplicationChain models r-way replication of a single block: data is
+// lost when all r replicas are simultaneously down. Repair is a plain
+// copy (one transfer per restored block), so repair-cost scaling leaves
+// it unchanged.
+func ReplicationChain(r int, p Params) *Chain {
+	c := NewChain()
+	states := make([]int, r+1)
+	for i := 0; i <= r; i++ {
+		states[i] = c.State(fmt.Sprintf("failed=%d", i))
+	}
+	c.SetAbsorbing(states[r])
+	for i := 0; i < r; i++ {
+		c.AddRate(states[i], states[i+1], float64(r-i)*p.lambda())
+		if i > 0 {
+			c.AddRate(states[i], states[i-1], float64(i)*p.mu())
+		}
+	}
+	return c
+}
+
+// PolygonChain models the K_n repair-by-transfer code: K_n is
+// vertex-transitive and any two failures lose exactly one (recoverable)
+// symbol, while any three failures lose three symbols of which the
+// single XOR parity can restore only one — so the chain is a plain
+// birth-death chain absorbing at three concurrent failures.
+//
+// Repair cost: a single failed node is rebuilt purely by transfer (n-1
+// transfers for n-1 blocks, factor 1); with two failed nodes the plan
+// moves 3(n-2)+1 blocks to restore 2(n-1).
+func PolygonChain(n int, p Params) *Chain {
+	c := NewChain()
+	states := make([]int, 4)
+	for i := 0; i <= 3; i++ {
+		states[i] = c.State(fmt.Sprintf("failed=%d", i))
+	}
+	c.SetAbsorbing(states[3])
+	c.AddRate(states[0], states[1], float64(n)*p.lambda())
+	c.AddRate(states[1], states[2], float64(n-1)*p.lambda())
+	c.AddRate(states[2], states[3], float64(n-2)*p.lambda())
+	c.AddRate(states[1], states[0], p.repairRate(n-1, n-1))
+	c.AddRate(states[2], states[1], 2*p.repairRate(3*(n-2)+1, 2*(n-1)))
+	return c
+}
+
+// RAIDMChain models (m+1, m) RAID+mirroring over n = 2(m+1) nodes. The
+// count of failed nodes alone is not Markov: what matters is whether a
+// mirror pair has fully died. States are (failed nodes i, dead pairs
+// j in {0,1}); a second dead pair is data loss. A new failure hits the
+// partner of one of the i-2j singly-failed nodes with rate
+// (i-2j)*lambda, creating (or completing) a dead pair.
+//
+// Repair cost: a singly-failed node is a one-block mirror copy (factor
+// 1); rebuilding a dead pair has no partial parities and moves m+1
+// blocks to restore 2, the Section 3.1 penalty.
+func RAIDMChain(m int, p Params) *Chain {
+	n := 2 * (m + 1)
+	c := NewChain()
+	state := func(i, j int) int { return c.State(fmt.Sprintf("failed=%d,deadpairs=%d", i, j)) }
+	state(0, 0) // ensure the all-healthy state is state 0
+	loss := c.State("loss")
+	c.SetAbsorbing(loss)
+	pairRepair := p.repairRate(m+1, 2)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= 1; j++ {
+			if 2*j > i || i-2*j > n/2-j {
+				continue // infeasible: more singles than live pairs
+			}
+			s := state(i, j)
+			singles := i - 2*j
+			alive := n - i
+			// Failure of a partner of a single: a pair dies.
+			if singles > 0 {
+				if j == 0 {
+					c.AddRate(s, state(i+1, 1), float64(singles)*p.lambda())
+				} else {
+					c.AddRate(s, loss, float64(singles)*p.lambda())
+				}
+			}
+			// Failure of a node from a fully-alive pair.
+			if fresh := alive - singles; fresh > 0 {
+				c.AddRate(s, state(i+1, j), float64(fresh)*p.lambda())
+			}
+			// Parallel repair. Repairing either node of a dead pair
+			// reconstructs its block and revives the pair.
+			if 2*j > 0 {
+				c.AddRate(s, state(i-1, j-1), float64(2*j)*pairRepair)
+			}
+			if singles > 0 {
+				c.AddRate(s, state(i-1, j), float64(singles)*p.mu())
+			}
+		}
+	}
+	return c
+}
+
+// HeptLocalChain models the heptagon-local code. The failure pattern
+// that matters is the split (a, b, g): failures in heptagon A, heptagon
+// B, and the global node. Both heptagons are vertex-transitive, so the
+// counts are exact. The recoverable region (verified exhaustively by
+// the code's decoder tests) is:
+//
+//	a <= 2 and b <= 2 (any g), or
+//	one heptagon at exactly 3 with the other <= 2 and the global
+//	node alive.
+//
+// Repair cost per heptagon-node: factor 1 with one in-group failure
+// (pure transfer), 12/16 with two, 18/42 with three (the
+// globally-assisted plan); the global node rebuilds its 2 parities from
+// 20 partial-parity transfers.
+func HeptLocalChain(p Params) *Chain {
+	c := NewChain()
+	recoverable := func(a, b, g int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		if b <= 2 {
+			return true
+		}
+		return b == 3 && a <= 2 && g == 0
+	}
+	state := func(a, b, g int) int { return c.State(fmt.Sprintf("a=%d,b=%d,g=%d", a, b, g)) }
+	state(0, 0, 0) // ensure the all-healthy state is state 0
+	loss := c.State("loss")
+	c.SetAbsorbing(loss)
+	groupRepair := []float64{
+		0,
+		p.repairRate(6, 6),   // single in-group failure: repair by transfer
+		p.repairRate(16, 12), // double: partial parities, 16 moves for 12 blocks
+		p.repairRate(42, 18), // triple: globally-assisted plan
+	}
+	globalRepair := p.repairRate(20, 2)
+	for a := 0; a <= 3; a++ {
+		for b := 0; b <= 3; b++ {
+			for g := 0; g <= 1; g++ {
+				if !recoverable(a, b, g) {
+					continue
+				}
+				s := state(a, b, g)
+				next := func(na, nb, ng int, rate float64) {
+					if recoverable(na, nb, ng) {
+						c.AddRate(s, state(na, nb, ng), rate)
+					} else {
+						c.AddRate(s, loss, rate)
+					}
+				}
+				next(a+1, b, g, float64(7-a)*p.lambda())
+				next(a, b+1, g, float64(7-b)*p.lambda())
+				if g == 0 {
+					next(a, b, 1, p.lambda())
+				}
+				if a > 0 {
+					next(a-1, b, g, float64(a)*groupRepair[a])
+				}
+				if b > 0 {
+					next(a, b-1, g, float64(b)*groupRepair[b])
+				}
+				if g == 1 {
+					next(a, b, 0, globalRepair)
+				}
+			}
+		}
+	}
+	return c
+}

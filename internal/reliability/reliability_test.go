@@ -1,0 +1,313 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+)
+
+// closedForm2Rep is the textbook MTTDL of mirrored storage with
+// parallel repair: from the 3-state chain,
+// MTTDL = (3*lambda + mu) / (2*lambda^2).
+func closedForm2Rep(lambda, mu float64) float64 {
+	return (3*lambda + mu) / (2 * lambda * lambda)
+}
+
+func TestChainMatchesClosedForm2Rep(t *testing.T) {
+	p := Params{NodeMTTFHours: 1000, NodeRepairHours: 10}
+	chain := ReplicationChain(2, p)
+	got, err := chain.MTTDL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := closedForm2Rep(p.lambda(), p.mu())
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("2-rep MTTDL = %g, closed form %g", got, want)
+	}
+}
+
+// closedForm3Rep solves the 4-state chain by hand:
+// states 0,1,2 -> absorb at 3, lambda_i = (3-i)L, mu_i = i*M.
+func closedForm3Rep(l, m float64) float64 {
+	// t2 = 1/(l+2m) + (2m/(l+2m)) t1
+	// t1 = 1/(2l+m) + (2l/(2l+m)) t2 + (m/(2l+m)) t0
+	// t0 = 1/(3l) + t1
+	a := l + 2*m
+	b := 2*l + m
+	// Substitute t0 = 1/(3l) + t1 into t1's equation:
+	// t1 = 1/b + (2l/b) t2 + (m/b)(1/(3l) + t1)
+	// t1 (1 - m/b) = 1/b + m/(3l b) + (2l/b) t2
+	// t2 = 1/a + (2m/a) t1
+	// t1 (1 - m/b - 4lm/(ab)) = 1/b + m/(3lb) + 2l/(ab)
+	lhs := 1 - m/b - 4*l*m/(a*b)
+	rhs := 1/b + m/(3*l*b) + 2*l/(a*b)
+	t1 := rhs / lhs
+	return 1/(3*l) + t1
+}
+
+func TestChainMatchesClosedForm3Rep(t *testing.T) {
+	p := Params{NodeMTTFHours: 500, NodeRepairHours: 5}
+	chain := ReplicationChain(3, p)
+	got, err := chain.MTTDL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := closedForm3Rep(p.lambda(), p.mu())
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("3-rep MTTDL = %g, closed form %g", got, want)
+	}
+}
+
+func TestMonteCarloAgreesWithSolver(t *testing.T) {
+	// Accelerated rates so absorption happens quickly.
+	p := Params{NodeMTTFHours: 50, NodeRepairHours: 25}
+	for name, chain := range map[string]*Chain{
+		"2-rep":     ReplicationChain(2, p),
+		"pentagon":  PolygonChain(5, p),
+		"raid+m":    RAIDMChain(3, p),
+		"heptlocal": HeptLocalChain(p),
+	} {
+		analytic, err := chain.MTTDL(0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mean, stderr, err := SimulateMTTDL(chain, 4000, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diff := math.Abs(mean - analytic); diff > 5*stderr+0.05*analytic {
+			t.Errorf("%s: MC mean %g vs analytic %g (stderr %g)", name, mean, analytic, stderr)
+		}
+	}
+}
+
+func TestMTTDLMonotoneInRepairRate(t *testing.T) {
+	slow := Params{NodeMTTFHours: 1e5, NodeRepairHours: 48}
+	fast := Params{NodeMTTFHours: 1e5, NodeRepairHours: 1}
+	for _, build := range []func(Params) *Chain{
+		func(p Params) *Chain { return ReplicationChain(3, p) },
+		func(p Params) *Chain { return PolygonChain(5, p) },
+		func(p Params) *Chain { return RAIDMChain(9, p) },
+		HeptLocalChain,
+	} {
+		s, err := build(slow).MTTDL(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := build(fast).MTTDL(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= s {
+			t.Errorf("faster repair did not improve MTTDL: %g vs %g", f, s)
+		}
+	}
+}
+
+func TestHeptagonWorseThanPentagon(t *testing.T) {
+	// Same fault tolerance, more nodes exposed: the heptagon group must
+	// have lower MTTDL (Table 1's ordering).
+	p := DefaultParams()
+	pent, _ := PolygonChain(5, p).MTTDL(0)
+	hept, _ := PolygonChain(7, p).MTTDL(0)
+	if hept >= pent {
+		t.Fatalf("heptagon group MTTDL %g >= pentagon %g", hept, pent)
+	}
+}
+
+// TestTable1Ordering verifies the qualitative shape of Table 1: the
+// reliability ranking of the six schemes under the default calibration.
+func TestTable1Ordering(t *testing.T) {
+	rows, err := Table1(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Code] = r
+	}
+	ge := func(hi, lo string) {
+		t.Helper()
+		if byName[hi].MTTDLYears <= byName[lo].MTTDLYears {
+			t.Errorf("want MTTDL(%s) > MTTDL(%s): %g vs %g",
+				hi, lo, byName[hi].MTTDLYears, byName[lo].MTTDLYears)
+		}
+	}
+	// Orderings shared by the paper's Table 1 and the pattern-exact
+	// model (see EXPERIMENTS.md for the two rows where the paper's
+	// undisclosed RAID+m parameters produce a different interleaving):
+	// the fault-tolerance-3 schemes beat 3-rep, 3-rep beats the
+	// pentagon-family codes, the pentagon beats the heptagon, and the
+	// shorter RAID+m beats the longer one.
+	ge("heptagon-local", "3-rep")
+	ge("(10,9) RAID+m", "3-rep")
+	ge("(10,9) RAID+m", "(12,11) RAID+m")
+	ge("3-rep", "pentagon")
+	ge("pentagon", "heptagon")
+}
+
+// TestTable1PaperValueCalibration pins the three rows the default
+// calibration reproduces almost exactly (paper: 1.20e9, 1.05e8,
+// 2.68e7).
+func TestTable1PaperValueCalibration(t *testing.T) {
+	p := DefaultParams()
+	within := func(name string, lo, hi float64) {
+		t.Helper()
+		row, err := ComputeRow(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.MTTDLYears < lo || row.MTTDLYears > hi {
+			t.Errorf("%s MTTDL = %.3g years, want in [%.3g, %.3g]", name, row.MTTDLYears, lo, hi)
+		}
+	}
+	within("3-rep", 0.8e9, 1.6e9)
+	within("pentagon", 0.7e8, 1.4e8)
+	within("heptagon", 1.8e7, 3.6e7)
+}
+
+func TestTable1StaticColumns(t *testing.T) {
+	rows, err := Table1(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		overhead float64
+		length   int
+	}{
+		"3-rep":          {3.0, 3},
+		"pentagon":       {2.22, 5},
+		"heptagon":       {2.1, 7},
+		"heptagon-local": {2.15, 15},
+		"(10,9) RAID+m":  {2.22, 20},
+		"(12,11) RAID+m": {2.18, 24},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Code]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Code)
+			continue
+		}
+		if math.Abs(r.StorageOverhead-w.overhead) > 0.01 {
+			t.Errorf("%s overhead = %.3f, want %.2f", r.Code, r.StorageOverhead, w.overhead)
+		}
+		if r.CodeLength != w.length {
+			t.Errorf("%s length = %d, want %d", r.Code, r.CodeLength, w.length)
+		}
+	}
+	// On the 25-node system every code fits; on the 20-node system the
+	// paper calls out, only the pentagon of the two 2.22x schemes does.
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%s infeasible on 25 nodes", r.Code)
+		}
+	}
+	small := DefaultParams()
+	small.SystemNodes = 20
+	rows20, err := Table1(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows20 {
+		wantFeasible := r.CodeLength <= 20
+		if r.Feasible != wantFeasible {
+			t.Errorf("20-node system: %s feasible = %v, want %v", r.Code, r.Feasible, wantFeasible)
+		}
+	}
+	if rows20[5].Feasible { // (12,11) RAID+m, length 24
+		t.Error("(12,11) RAID+m should not fit a 20-node system")
+	}
+}
+
+func TestThreeRepCalibration(t *testing.T) {
+	// The default calibration is chosen so 3-rep lands near the paper's
+	// 1.20e+09 years (within a factor of 4 is fine for a model-level
+	// reproduction; the ordering test is the real check).
+	row, err := ComputeRow("3-rep", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MTTDLYears < 3e8 || row.MTTDLYears > 5e9 {
+		t.Errorf("3-rep MTTDL = %.3g years, want within [3e8, 5e9] around the paper's 1.2e9", row.MTTDLYears)
+	}
+}
+
+func TestChainForUnknownCode(t *testing.T) {
+	if _, err := chainFor("nope", DefaultParams()); err == nil {
+		t.Fatal("chainFor accepted unknown code")
+	}
+	if _, err := ComputeRow("nope", DefaultParams()); err == nil {
+		t.Fatal("ComputeRow accepted unknown code")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows, err := Table1(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatTable(rows)
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, name := range []string{"pentagon", "heptagon-local", "RAID+m"} {
+		if !containsStr(s, name) {
+			t.Errorf("table missing %q:\n%s", name, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMTTDLAbsorbingStartIsZero(t *testing.T) {
+	c := NewChain()
+	s := c.State("x")
+	c.SetAbsorbing(s)
+	got, err := c.MTTDL(s)
+	if err != nil || got != 0 {
+		t.Fatalf("MTTDL from absorbing state = %v, %v", got, err)
+	}
+}
+
+func TestMTTDLNoAbsorbingReachable(t *testing.T) {
+	c := NewChain()
+	a := c.State("a")
+	b := c.State("b")
+	c.AddRate(a, b, 1)
+	c.AddRate(b, a, 1)
+	got, err := c.MTTDL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("MTTDL with no absorbing state = %v, want +Inf", got)
+	}
+}
+
+func TestMTTDLInvalidStart(t *testing.T) {
+	c := NewChain()
+	c.State("a")
+	if _, err := c.MTTDL(5); err == nil {
+		t.Fatal("MTTDL accepted invalid start")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c := ReplicationChain(2, Params{NodeMTTFHours: 10, NodeRepairHours: 10})
+	if _, _, err := SimulateMTTDL(c, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("SimulateMTTDL accepted zero trials")
+	}
+}

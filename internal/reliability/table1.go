@@ -1,0 +1,113 @@
+package reliability
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Row is one line of Table 1.
+type Row struct {
+	Code            string
+	StorageOverhead float64
+	CodeLength      int
+	GroupMTTDLYears float64 // one redundancy group
+	MTTDLYears      float64 // whole system (divided across groups)
+	Groups          int
+	Feasible        bool // code length fits the configured system size
+}
+
+// chainFor builds the failure chain for a registered code name.
+func chainFor(name string, p Params) (*Chain, error) {
+	switch name {
+	case "2-rep":
+		return ReplicationChain(2, p), nil
+	case "3-rep":
+		return ReplicationChain(3, p), nil
+	case "pentagon":
+		return PolygonChain(5, p), nil
+	case "heptagon":
+		return PolygonChain(7, p), nil
+	case "heptagon-local":
+		return HeptLocalChain(p), nil
+	case "raid+m-10-9":
+		return RAIDMChain(9, p), nil
+	case "raid+m-12-11":
+		return RAIDMChain(11, p), nil
+	default:
+		return nil, fmt.Errorf("reliability: no failure model for code %q", name)
+	}
+}
+
+// Table1Codes lists the schemes in the order of the paper's Table 1.
+var Table1Codes = []string{
+	"3-rep",
+	"pentagon",
+	"heptagon",
+	"heptagon-local",
+	"raid+m-10-9",
+	"raid+m-12-11",
+}
+
+// ComputeRow evaluates one code under the given parameters.
+func ComputeRow(name string, p Params) (Row, error) {
+	c, err := core.New(name)
+	if err != nil {
+		return Row{}, err
+	}
+	chain, err := chainFor(name, p)
+	if err != nil {
+		return Row{}, err
+	}
+	grpHours, err := chain.MTTDL(0)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", name, err)
+	}
+	groups := p.DataBlocks
+	if p.PerStripeGroups {
+		k := c.DataSymbols()
+		groups = (p.DataBlocks + k - 1) / k
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	grpYears := grpHours / HoursPerYear
+	return Row{
+		Code:            c.Name(),
+		StorageOverhead: core.StorageOverhead(c),
+		CodeLength:      c.Nodes(),
+		GroupMTTDLYears: grpYears,
+		MTTDLYears:      grpYears / float64(groups),
+		Groups:          groups,
+		Feasible:        c.Nodes() <= p.SystemNodes,
+	}, nil
+}
+
+// Table1 evaluates all Table-1 codes.
+func Table1(p Params) ([]Row, error) {
+	rows := make([]Row, 0, len(Table1Codes))
+	for _, name := range Table1Codes {
+		row, err := ComputeRow(name, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable renders rows in the layout of the paper's Table 1.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %12s\n", "Code", "Overhead", "Length", "MTTDL (yrs)")
+	for _, r := range rows {
+		note := ""
+		if !r.Feasible {
+			note = "  [exceeds system size]"
+		}
+		fmt.Fprintf(&b, "%-16s %7.2fx %8d %12.2e%s\n",
+			r.Code, r.StorageOverhead, r.CodeLength, r.MTTDLYears, note)
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+// Package sched implements the three map-task assignment algorithms the
+// paper evaluates (Section 3.2):
+//
+//   - the delay scheduler Hadoop actually uses (Zaharia et al.),
+//     simulated as heartbeat rounds in which a node with a free slot
+//     takes a pending local task, falling back to a remote task only
+//     after its delay expires;
+//   - maximum matching, the computationally expensive benchmark,
+//     computed exactly with Hopcroft-Karp;
+//   - the modified peeling (degree-guided) algorithm of Xie & Lu,
+//     adapted to array codes: the most constrained pending task (fewest
+//     replica-holding nodes with free slots) is placed first, on the
+//     replica node with the most free capacity.
+//
+// A Problem is one assignment wave: T map tasks to place on N nodes
+// with mu slots each, where each task can run locally on the nodes
+// holding a replica of its block. Locality is the fraction of tasks
+// assigned to a replica holder; leftover tasks run remotely on whatever
+// slots remain free.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bipartite"
+)
+
+// Task is one map task and the nodes holding replicas of its block.
+type Task struct {
+	Block    int
+	Replicas []int
+}
+
+// Problem is one scheduling wave.
+type Problem struct {
+	Nodes int
+	Slots int // map slots per node (the paper's mu)
+	Tasks []Task
+}
+
+// TotalSlots returns Nodes*Slots.
+func (p *Problem) TotalSlots() int { return p.Nodes * p.Slots }
+
+// Load returns the paper's load metric: tasks / total slots.
+func (p *Problem) Load() float64 {
+	return float64(len(p.Tasks)) / float64(p.TotalSlots())
+}
+
+// Assignment is the result of one wave.
+type Assignment struct {
+	// Node[i] is the node running task i, or -1 if no slot was free.
+	Node []int
+	// Local[i] reports whether task i runs on a node holding its block.
+	Local []bool
+}
+
+// LocalCount returns the number of data-local tasks.
+func (a *Assignment) LocalCount() int {
+	n := 0
+	for _, l := range a.Local {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Locality returns the fraction of tasks that are data-local, the
+// y-axis of the paper's Figure 3.
+func (a *Assignment) Locality() float64 {
+	if len(a.Local) == 0 {
+		return 1
+	}
+	return float64(a.LocalCount()) / float64(len(a.Local))
+}
+
+// Scheduler assigns one wave of tasks.
+type Scheduler interface {
+	Name() string
+	Assign(p *Problem, rng *rand.Rand) *Assignment
+}
+
+// Validate checks an assignment against the problem: slot capacities
+// respected, locality flags truthful, every task placed at most once.
+func Validate(p *Problem, a *Assignment) error {
+	if len(a.Node) != len(p.Tasks) || len(a.Local) != len(p.Tasks) {
+		return fmt.Errorf("sched: assignment size mismatch")
+	}
+	load := make([]int, p.Nodes)
+	for i, node := range a.Node {
+		if node == -1 {
+			if a.Local[i] {
+				return fmt.Errorf("sched: task %d local but unassigned", i)
+			}
+			continue
+		}
+		if node < 0 || node >= p.Nodes {
+			return fmt.Errorf("sched: task %d on invalid node %d", i, node)
+		}
+		load[node]++
+		isReplica := false
+		for _, r := range p.Tasks[i].Replicas {
+			if r == node {
+				isReplica = true
+				break
+			}
+		}
+		if a.Local[i] != isReplica {
+			return fmt.Errorf("sched: task %d locality flag %v but replica-held=%v", i, a.Local[i], isReplica)
+		}
+	}
+	for n, l := range load {
+		if l > p.Slots {
+			return fmt.Errorf("sched: node %d runs %d tasks, capacity %d", n, l, p.Slots)
+		}
+	}
+	return nil
+}
+
+// assignRemainder places still-unassigned tasks on arbitrary free
+// slots (remote execution).
+func assignRemainder(p *Problem, a *Assignment, free []int, rng *rand.Rand) {
+	nodes := rng.Perm(p.Nodes)
+	ni := 0
+	for i := range p.Tasks {
+		if a.Node[i] != -1 {
+			continue
+		}
+		for ni < len(nodes) && free[nodes[ni]] == 0 {
+			ni++
+		}
+		if ni == len(nodes) {
+			return // cluster full; task waits for the next wave
+		}
+		node := nodes[ni]
+		a.Node[i] = node
+		free[node]--
+		// Remote by construction here; a task whose replica node had
+		// free slots would have been taken in the local phase, but the
+		// flag is recomputed for safety.
+		for _, r := range p.Tasks[i].Replicas {
+			if r == node {
+				a.Local[i] = true
+				break
+			}
+		}
+	}
+}
+
+func newAssignment(n int) *Assignment {
+	a := &Assignment{Node: make([]int, n), Local: make([]bool, n)}
+	for i := range a.Node {
+		a.Node[i] = -1
+	}
+	return a
+}
+
+// MaxMatch is the maximum-matching benchmark scheduler.
+type MaxMatch struct{}
+
+// Name returns "max-match".
+func (MaxMatch) Name() string { return "max-match" }
+
+// Assign computes a maximum task-to-slot matching with Hopcroft-Karp
+// and fills the remainder remotely.
+func (MaxMatch) Assign(p *Problem, rng *rand.Rand) *Assignment {
+	caps := make([]int, p.Nodes)
+	for i := range caps {
+		caps[i] = p.Slots
+	}
+	g := bipartite.NewCapacityGraph(len(p.Tasks), caps)
+	for i, t := range p.Tasks {
+		for _, r := range t.Replicas {
+			g.AddEdge(i, r)
+		}
+	}
+	_, match := g.MaxMatching()
+	a := newAssignment(len(p.Tasks))
+	free := append([]int(nil), caps...)
+	for i, node := range match {
+		if node >= 0 {
+			a.Node[i] = node
+			a.Local[i] = true
+			free[node]--
+		}
+	}
+	assignRemainder(p, a, free, rng)
+	return a
+}
+
+// Delay simulates Hadoop's delay scheduler: heartbeat rounds visit the
+// nodes in random order; a node with a free slot takes a random pending
+// local task, and only once a task's wait exceeds DelayRounds does it
+// accept a remote slot.
+type Delay struct {
+	// DelayRounds is the number of full heartbeat rounds the job waits
+	// for locality before accepting remote slots. The paper configures
+	// the delay so every node can first place its own slots' worth of
+	// local tasks; DelayRounds = 0 means "one full local round" because
+	// a round always prefers local tasks.
+	DelayRounds int
+}
+
+// Name returns "delay".
+func (Delay) Name() string { return "delay" }
+
+// Assign runs heartbeat rounds until every task is placed or the
+// cluster is full.
+func (d Delay) Assign(p *Problem, rng *rand.Rand) *Assignment {
+	a := newAssignment(len(p.Tasks))
+	free := make([]int, p.Nodes)
+	for i := range free {
+		free[i] = p.Slots
+	}
+	// pendingAt[n] lists pending task indices with a replica on node n.
+	pendingAt := make([][]int, p.Nodes)
+	for i, t := range p.Tasks {
+		for _, r := range t.Replicas {
+			pendingAt[r] = append(pendingAt[r], i)
+		}
+	}
+	unassigned := len(p.Tasks)
+	freeSlots := p.Nodes * p.Slots
+	for round := 0; unassigned > 0 && freeSlots > 0; round++ {
+		progress := false
+		for _, n := range rng.Perm(p.Nodes) {
+			for free[n] > 0 {
+				// Drop already-assigned tasks lazily.
+				q := pendingAt[n][:0]
+				for _, ti := range pendingAt[n] {
+					if a.Node[ti] == -1 {
+						q = append(q, ti)
+					}
+				}
+				pendingAt[n] = q
+				if len(q) == 0 {
+					break
+				}
+				ti := q[rng.Intn(len(q))]
+				a.Node[ti] = n
+				a.Local[ti] = true
+				free[n]--
+				freeSlots--
+				unassigned--
+				progress = true
+			}
+		}
+		if !progress && round >= d.DelayRounds {
+			break // delay expired with no local placements left
+		}
+	}
+	assignRemainder(p, a, free, rng)
+	return a
+}
+
+// Peeling is the modified degree-guided scheduler: repeatedly place the
+// most constrained pending task (fewest replica nodes with free slots)
+// on its replica node with the most free slots. Array-code awareness
+// comes precisely from the degree guidance: blocks of one stripe pile
+// onto the same node, so their effective degree collapses as slots fill
+// and they get placed before unconstrained tasks waste the node.
+type Peeling struct{}
+
+// Name returns "peeling".
+func (Peeling) Name() string { return "peeling" }
+
+// Assign runs the peeling loop and fills the remainder remotely.
+func (Peeling) Assign(p *Problem, rng *rand.Rand) *Assignment {
+	a := newAssignment(len(p.Tasks))
+	free := make([]int, p.Nodes)
+	for i := range free {
+		free[i] = p.Slots
+	}
+	pending := make(map[int]bool, len(p.Tasks))
+	for i := range p.Tasks {
+		pending[i] = true
+	}
+	order := rng.Perm(len(p.Tasks)) // deterministic tie-breaking per rng
+	for len(pending) > 0 {
+		best, bestDeg := -1, 1<<30
+		for _, i := range order {
+			if !pending[i] {
+				continue
+			}
+			deg := 0
+			for _, r := range p.Tasks[i].Replicas {
+				if free[r] > 0 {
+					deg++
+				}
+			}
+			if deg > 0 && deg < bestDeg {
+				best, bestDeg = i, deg
+				if deg == 1 {
+					break
+				}
+			}
+		}
+		if best == -1 {
+			break // no pending task can be placed locally
+		}
+		node, bestFree := -1, -1
+		for _, r := range p.Tasks[best].Replicas {
+			if free[r] > bestFree {
+				node, bestFree = r, free[r]
+			}
+		}
+		a.Node[best] = node
+		a.Local[best] = true
+		free[node]--
+		delete(pending, best)
+	}
+	assignRemainder(p, a, free, rng)
+	return a
+}

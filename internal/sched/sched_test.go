@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProblem builds a 2-rep-style problem: each task on 2 random
+// distinct nodes.
+func randomProblem(rng *rand.Rand, nodes, slots, tasks int) *Problem {
+	p := &Problem{Nodes: nodes, Slots: slots}
+	for i := 0; i < tasks; i++ {
+		a := rng.Intn(nodes)
+		b := (a + 1 + rng.Intn(nodes-1)) % nodes
+		p.Tasks = append(p.Tasks, Task{Block: i, Replicas: []int{a, b}})
+	}
+	return p
+}
+
+var allSchedulers = []Scheduler{MaxMatch{}, Delay{DelayRounds: 1}, Peeling{}}
+
+func TestAssignmentsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 2 + rng.Intn(10)
+		slots := 1 + rng.Intn(4)
+		tasks := rng.Intn(nodes * slots)
+		p := randomProblem(rng, nodes, slots, tasks)
+		for _, s := range allSchedulers {
+			a := s.Assign(p, rng)
+			if err := Validate(p, a); err != nil {
+				t.Logf("%s: %v", s.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllTasksPlacedUnderCapacity(t *testing.T) {
+	// At load <= 100% every task must be placed (locally or remotely).
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 10, 2, 20)
+	for _, s := range allSchedulers {
+		a := s.Assign(p, rng)
+		for i, n := range a.Node {
+			if n == -1 {
+				t.Errorf("%s: task %d unplaced at 100%% load", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestOverloadLeavesTasksUnplaced(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := randomProblem(rng, 4, 1, 10)
+	for _, s := range allSchedulers {
+		a := s.Assign(p, rng)
+		placed := 0
+		for _, n := range a.Node {
+			if n != -1 {
+				placed++
+			}
+		}
+		if placed != 4 {
+			t.Errorf("%s: placed %d tasks on 4 slots", s.Name(), placed)
+		}
+		if err := Validate(p, a); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestMaxMatchIsUpperBound: no scheduler may beat maximum matching on
+// local count.
+func TestMaxMatchIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 3 + rng.Intn(8)
+		slots := 1 + rng.Intn(3)
+		tasks := 1 + rng.Intn(nodes*slots)
+		p := randomProblem(rng, nodes, slots, tasks)
+		mm := MaxMatch{}.Assign(p, rand.New(rand.NewSource(seed))).LocalCount()
+		for _, s := range []Scheduler{Delay{DelayRounds: 1}, Peeling{}} {
+			if s.Assign(p, rand.New(rand.NewSource(seed+1))).LocalCount() > mm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPeelingBeatsDelayOnAverage reproduces the Figure 3 bottom-panel
+// relationship statistically over many seeds.
+func TestPeelingBeatsDelayOnAverage(t *testing.T) {
+	var peel, delay int
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 12, 2, 24)
+		peel += Peeling{}.Assign(p, rand.New(rand.NewSource(seed*7))).LocalCount()
+		delay += Delay{DelayRounds: 1}.Assign(p, rand.New(rand.NewSource(seed*7))).LocalCount()
+	}
+	if peel < delay {
+		t.Errorf("peeling total locality %d < delay %d over 60 trials", peel, delay)
+	}
+}
+
+func TestMaxMatchExactOnConstructedInstance(t *testing.T) {
+	// Two tasks contending for one node, plus a task elsewhere: the
+	// maximum local assignment is 2 with slots=1.
+	p := &Problem{Nodes: 3, Slots: 1, Tasks: []Task{
+		{Block: 0, Replicas: []int{0}},
+		{Block: 1, Replicas: []int{0}},
+		{Block: 2, Replicas: []int{1}},
+	}}
+	a := MaxMatch{}.Assign(p, rand.New(rand.NewSource(1)))
+	if got := a.LocalCount(); got != 2 {
+		t.Fatalf("max-match local count = %d, want 2", got)
+	}
+	if err := Validate(p, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeelingPrefersConstrainedTask(t *testing.T) {
+	// Task 0 can only run on node 0; task 1 can run on node 0 or 1.
+	// With one slot each, peeling must give node 0 to task 0.
+	p := &Problem{Nodes: 2, Slots: 1, Tasks: []Task{
+		{Block: 0, Replicas: []int{0}},
+		{Block: 1, Replicas: []int{0, 1}},
+	}}
+	for seed := int64(0); seed < 10; seed++ {
+		a := Peeling{}.Assign(p, rand.New(rand.NewSource(seed)))
+		if !a.Local[0] || !a.Local[1] {
+			t.Fatalf("seed %d: peeling failed to localize both tasks: %+v", seed, a)
+		}
+	}
+}
+
+func TestLocalityMetric(t *testing.T) {
+	a := &Assignment{Node: []int{0, 1, 2, -1}, Local: []bool{true, true, false, false}}
+	if a.LocalCount() != 2 {
+		t.Fatalf("LocalCount = %d", a.LocalCount())
+	}
+	if a.Locality() != 0.5 {
+		t.Fatalf("Locality = %v", a.Locality())
+	}
+	empty := &Assignment{}
+	if empty.Locality() != 1 {
+		t.Fatal("empty assignment should have locality 1")
+	}
+}
+
+func TestProblemMetrics(t *testing.T) {
+	p := &Problem{Nodes: 25, Slots: 4, Tasks: make([]Task, 50)}
+	if p.TotalSlots() != 100 {
+		t.Fatal("TotalSlots wrong")
+	}
+	if p.Load() != 0.5 {
+		t.Fatalf("Load = %v, want 0.5", p.Load())
+	}
+}
+
+func TestValidateCatchesLies(t *testing.T) {
+	p := &Problem{Nodes: 2, Slots: 1, Tasks: []Task{{Block: 0, Replicas: []int{0}}}}
+	bad := &Assignment{Node: []int{1}, Local: []bool{true}} // claims local on non-replica
+	if err := Validate(p, bad); err == nil {
+		t.Fatal("Validate accepted a lying locality flag")
+	}
+	over := &Problem{Nodes: 1, Slots: 1, Tasks: []Task{
+		{Block: 0, Replicas: []int{0}}, {Block: 1, Replicas: []int{0}},
+	}}
+	bad2 := &Assignment{Node: []int{0, 0}, Local: []bool{true, true}}
+	if err := Validate(over, bad2); err == nil {
+		t.Fatal("Validate accepted capacity violation")
+	}
+	bad3 := &Assignment{Node: []int{-1}, Local: []bool{true}}
+	if err := Validate(p, bad3); err == nil {
+		t.Fatal("Validate accepted local-but-unassigned")
+	}
+	bad4 := &Assignment{Node: []int{5}, Local: []bool{false}}
+	if err := Validate(p, bad4); err == nil {
+		t.Fatal("Validate accepted invalid node")
+	}
+	bad5 := &Assignment{Node: []int{0}}
+	if err := Validate(p, bad5); err == nil {
+		t.Fatal("Validate accepted size mismatch")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range allSchedulers {
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"max-match", "delay", "peeling"} {
+		if !names[want] {
+			t.Errorf("missing scheduler %q", want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("zero accumulator not zero")
+	}
+}
+
+func TestKnownSample(t *testing.T) {
+	a := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if a.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of this classic sample is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+	if a.N() != 8 {
+		t.Fatalf("n = %d", a.N())
+	}
+}
+
+func TestSinglePointVarianceZero(t *testing.T) {
+	var a Accumulator
+	a.Add(42)
+	if a.Variance() != 0 || a.Mean() != 42 {
+		t.Fatal("single point stats wrong")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+		}
+		a := Summarize(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		naiveVar := varSum / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-naiveVar) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95AndStdErr(t *testing.T) {
+	a := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	want := a.StdDev() / math.Sqrt(10)
+	if math.Abs(a.StdErr()-want) > 1e-12 {
+		t.Fatal("stderr wrong")
+	}
+	if math.Abs(a.CI95()-1.96*want) > 1e-12 {
+		t.Fatal("CI95 wrong")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean of empty should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := Summarize([]float64{1, 2, 3})
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}

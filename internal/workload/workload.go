@@ -1,0 +1,77 @@
+// Package workload defines the MapReduce job models the simulator runs:
+// Terasort (the paper's benchmark) plus the WordCount and Grep jobs the
+// paper lists as future work, and the load-point sizing rule of
+// Section 3.2.
+package workload
+
+import "fmt"
+
+// JobSpec describes one MapReduce job.
+type JobSpec struct {
+	Name string
+	// Maps is the number of map tasks; each reads one input block.
+	Maps int
+	// Reduces is the number of reduce tasks.
+	Reduces int
+	// MapOutputRatio is map-output bytes per map-input byte: ~1.0 for a
+	// sort, small for filter-style jobs.
+	MapOutputRatio float64
+}
+
+// Validate checks the spec.
+func (s JobSpec) Validate() error {
+	if s.Maps <= 0 {
+		return fmt.Errorf("workload: %s: maps must be positive", s.Name)
+	}
+	if s.Reduces < 0 {
+		return fmt.Errorf("workload: %s: negative reduces", s.Name)
+	}
+	if s.MapOutputRatio < 0 {
+		return fmt.Errorf("workload: %s: negative output ratio", s.Name)
+	}
+	return nil
+}
+
+// MapsForLoad returns the job size for a load point: the paper defines
+// load as maps / (nodes * mapSlots), so a 100% load job has exactly one
+// map task per map slot.
+func MapsForLoad(load float64, nodes, mapSlots int) int {
+	m := int(load*float64(nodes*mapSlots) + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Terasort returns the paper's benchmark job: map output equals map
+// input (a sort moves every byte through the shuffle).
+func Terasort(maps, reduces int) JobSpec {
+	return JobSpec{Name: "terasort", Maps: maps, Reduces: reduces, MapOutputRatio: 1.0}
+}
+
+// WordCount returns a WordCount-style job: combiners shrink map output
+// to a few percent of the input.
+func WordCount(maps, reduces int) JobSpec {
+	return JobSpec{Name: "wordcount", Maps: maps, Reduces: reduces, MapOutputRatio: 0.05}
+}
+
+// Grep returns a Grep-style job: nearly all input is filtered out and
+// the shuffle is negligible.
+func Grep(maps, reduces int) JobSpec {
+	return JobSpec{Name: "grep", Maps: maps, Reduces: reduces, MapOutputRatio: 0.001}
+}
+
+// ByName returns the named job builder ("terasort", "wordcount",
+// "grep").
+func ByName(name string, maps, reduces int) (JobSpec, error) {
+	switch name {
+	case "terasort":
+		return Terasort(maps, reduces), nil
+	case "wordcount":
+		return WordCount(maps, reduces), nil
+	case "grep":
+		return Grep(maps, reduces), nil
+	default:
+		return JobSpec{}, fmt.Errorf("workload: unknown job %q", name)
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import "testing"
+
+func TestMapsForLoad(t *testing.T) {
+	cases := []struct {
+		load      float64
+		nodes, mu int
+		want      int
+	}{
+		{1.0, 25, 2, 50},
+		{0.5, 25, 2, 25},
+		{0.25, 9, 4, 9},
+		{0.625, 100, 4, 250}, // the paper's own example: 62.5% load
+		{0.001, 10, 1, 1},    // never zero maps
+	}
+	for _, c := range cases {
+		if got := MapsForLoad(c.load, c.nodes, c.mu); got != c.want {
+			t.Errorf("MapsForLoad(%v, %d, %d) = %d, want %d", c.load, c.nodes, c.mu, got, c.want)
+		}
+	}
+}
+
+func TestJobSpecs(t *testing.T) {
+	ts := Terasort(50, 25)
+	if ts.MapOutputRatio != 1.0 {
+		t.Errorf("terasort output ratio = %v, want 1.0", ts.MapOutputRatio)
+	}
+	wc := WordCount(50, 25)
+	if wc.MapOutputRatio >= ts.MapOutputRatio {
+		t.Error("wordcount should shuffle less than terasort")
+	}
+	gr := Grep(50, 25)
+	if gr.MapOutputRatio >= wc.MapOutputRatio {
+		t.Error("grep should shuffle less than wordcount")
+	}
+	for _, s := range []JobSpec{ts, wc, gr} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"terasort", "wordcount", "grep"} {
+		s, err := ByName(name, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name || s.Maps != 10 || s.Reduces != 5 {
+			t.Fatalf("ByName(%q) = %+v", name, s)
+		}
+	}
+	if _, err := ByName("sleep", 1, 1); err == nil {
+		t.Fatal("ByName accepted unknown job")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (JobSpec{Name: "x", Maps: 0}).Validate(); err == nil {
+		t.Fatal("accepted zero maps")
+	}
+	if err := (JobSpec{Name: "x", Maps: 1, Reduces: -1}).Validate(); err == nil {
+		t.Fatal("accepted negative reduces")
+	}
+	if err := (JobSpec{Name: "x", Maps: 1, MapOutputRatio: -1}).Validate(); err == nil {
+		t.Fatal("accepted negative ratio")
+	}
+}
