@@ -453,3 +453,124 @@ func BenchmarkOnlineRepairMR(b *testing.B) {
 	}
 	b.ReportMetric(job, "job-s")
 }
+
+// --- Tiering subsystem ---
+
+// benchTranscode measures online transcode throughput between two
+// codes on a 1 MiB on-disk file (bytes/s is file bytes per move).
+func benchTranscode(b *testing.B, from, to string) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	dir := b.TempDir()
+	s, err := CreateStore(dir, from, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Put("f", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := to
+		if i%2 == 1 {
+			target = from
+		}
+		if _, err := s.Transcode("f", target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranscodeRSToPentagon alternates cold RS(14,10) and hot
+// pentagon encodings of one file — the tiering layer's promote/demote
+// cycle.
+func BenchmarkTranscodeRSToPentagon(b *testing.B) { benchTranscode(b, "rs-14-10", "pentagon") }
+
+// BenchmarkTranscodeRSToHeptagonLocal alternates RS(14,10) and the
+// heptagon-local code.
+func BenchmarkTranscodeRSToHeptagonLocal(b *testing.B) {
+	benchTranscode(b, "rs-14-10", "heptagon-local")
+}
+
+// BenchmarkHeatTrackerTouch measures the tracker under concurrent
+// read-hot-path load across 10k files.
+func BenchmarkHeatTrackerTouch(b *testing.B) {
+	tr := NewHeatTracker(3600)
+	names := make([]string, 10_000)
+	for i := range names {
+		names[i] = TraceFileName(i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(8))
+		now := 0.0
+		for pb.Next() {
+			now += 0.001
+			tr.Touch(names[rng.Intn(len(names))], now)
+		}
+	})
+}
+
+// BenchmarkStoreGetWithHeatHook measures the read-path overhead of the
+// tier heat hook against BenchmarkStorePutGet's bare Get.
+func BenchmarkStoreGetWithHeatHook(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	s, err := CreateStore(b.TempDir(), "pentagon", 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Put("f", data); err != nil {
+		b.Fatal(err)
+	}
+	tr := NewHeatTracker(3600)
+	now := 0.0
+	s.OnRead = func(name string) { now += 0.001; tr.Touch(name, now) }
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTieringReplay runs the full tiersim loop — Zipf trace,
+// heat, policy, simulated transcodes — and reports the final hot-file
+// count.
+func BenchmarkTieringReplay(b *testing.B) {
+	trace, err := ZipfTrace(WorkloadTraceConfig{
+		Files: 40, Accesses: 4000, ZipfS: 1.4, Rate: 20, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hot int
+	for i := 0; i < b.N; i++ {
+		ct := NewTierClusterTarget(30, 20, rand.New(rand.NewSource(1)))
+		for j := 0; j < 40; j++ {
+			if err := ct.AddFile(TraceFileName(j), "rs-14-10"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m, err := NewClusterTierManager(ct, TierPolicy{
+			HotCode: "pentagon", ColdCode: "rs-14-10",
+			PromoteAt: 8, DemoteAt: 2, MinDwell: 10,
+		}, NewHeatTracker(60))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReplayTiering(NewSimEngine(), trace, m, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+		hot = 0
+		for _, name := range ct.Files() {
+			if code, _ := ct.FileCode(name); code == "pentagon" {
+				hot++
+			}
+		}
+	}
+	b.ReportMetric(float64(hot), "hot-files")
+}

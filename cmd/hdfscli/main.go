@@ -1,7 +1,8 @@
 // Command hdfscli drives the on-disk miniature HDFS-RAID store: create
 // a store for any registered code, put/get files, kill nodes, repair
-// them with the code's partial-parity plans, and fsck the block
-// inventory.
+// them with the code's partial-parity plans, fsck the block inventory,
+// and tier files between hot and cold codes by decayed access heat
+// (every get feeds a tracker persisted beside the manifest).
 //
 // Usage:
 //
@@ -12,6 +13,9 @@
 //	hdfscli -store DIR kill NODE...
 //	hdfscli -store DIR repair NODE...
 //	hdfscli -store DIR fsck
+//	hdfscli -store DIR tier status
+//	hdfscli -store DIR tier set NAME CODE
+//	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S]
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	_ "repro/internal/code/heptlocal"
 	_ "repro/internal/code/polygon"
@@ -28,6 +33,7 @@ import (
 	_ "repro/internal/code/rs"
 	"repro/internal/core"
 	"repro/internal/hdfsraid"
+	"repro/internal/tier"
 )
 
 func main() {
@@ -53,6 +59,8 @@ func main() {
 		err = doNodes(*store, args[1:], "repair")
 	case "fsck":
 		err = doFsck(*store)
+	case "tier":
+		err = doTier(*store, args[1:])
 	default:
 		usage()
 	}
@@ -63,10 +71,26 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | tier {status | set NAME CODE | rebalance [flags]}}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
+
+// heatPath is where the decayed access counters persist, beside the
+// manifest.
+func heatPath(store string) string { return filepath.Join(store, "tier-heat.json") }
+
+// movesPath is where per-file last-move times persist, so the
+// rebalance -dwell guard holds across one-shot invocations.
+func movesPath(store string) string { return filepath.Join(store, "tier-moves.json") }
+
+// nowSeconds is the wall clock as float seconds, the tracker's time
+// base for CLI use.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// defaultHalfLife is a day: CLI-driven stores heat up over human time
+// scales.
+const defaultHalfLife = 24 * 3600
 
 func doCreate(store string, args []string) error {
 	fs := flag.NewFlagSet("create", flag.ExitOnError)
@@ -114,11 +138,19 @@ func doGet(store string, args []string) error {
 	if err != nil {
 		return err
 	}
+	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	if err != nil {
+		return err
+	}
+	s.OnRead = func(name string) { tr.Touch(name, nowSeconds()) }
 	data, err := s.Get(args[0])
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(args[1], data, 0o644); err != nil {
+		return err
+	}
+	if err := tr.Save(heatPath(store)); err != nil {
 		return err
 	}
 	fmt.Printf("read %s: %d bytes -> %s\n", args[0], len(data), args[1])
@@ -168,6 +200,113 @@ func doNodes(store string, args []string, op string) error {
 	}
 	fmt.Printf("repaired nodes %v: %d stripes, %d blocks restored, %d block-units transferred\n",
 		nodes, rep.Stripes, rep.BlocksRestored, rep.Transfers)
+	return nil
+}
+
+func doTier(store string, args []string) error {
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "status":
+		return doTierStatus(store)
+	case "set":
+		return doTierSet(store, args[1:])
+	case "rebalance":
+		return doTierRebalance(store, args[1:])
+	default:
+		usage()
+		return nil
+	}
+}
+
+func doTierStatus(store string) error {
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	if err != nil {
+		return err
+	}
+	now := nowSeconds()
+	fmt.Printf("%-30s %-16s %9s %8s\n", "FILE", "CODE", "OVERHEAD", "HEAT")
+	for _, name := range s.Files() {
+		codeName, _ := s.FileCode(name)
+		c, err := core.New(codeName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-30s %-16s %8.2fx %8.2f\n",
+			name, codeName, core.StorageOverhead(c), tr.Heat(name, now))
+	}
+	return nil
+}
+
+func doTierSet(store string, args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Transcode(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transcoded %s: %s -> %s, %d stripes, %d blocks written, %d removed\n",
+		args[0], rep.From, rep.To, rep.Stripes, rep.BlocksWritten, rep.BlocksRemoved)
+	return nil
+}
+
+func doTierRebalance(store string, args []string) error {
+	fs := flag.NewFlagSet("tier rebalance", flag.ExitOnError)
+	hot := fs.String("hot", "pentagon", "hot-tier code")
+	cold := fs.String("cold", "rs-14-10", "cold-tier code")
+	promote := fs.Float64("promote", 5, "promote at this decayed heat")
+	demote := fs.Float64("demote", 1, "demote at or below this decayed heat")
+	dwell := fs.Float64("dwell", 0, "min seconds between moves of one file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	if err != nil {
+		return err
+	}
+	m, err := tier.NewManager(tier.StoreTarget{Store: s}, tier.Policy{
+		HotCode: *hot, ColdCode: *cold,
+		PromoteAt: *promote, DemoteAt: *demote, MinDwell: *dwell,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	if err := m.LoadLastMoves(movesPath(store)); err != nil {
+		return err
+	}
+	moves, err := m.Rebalance(nowSeconds())
+	if err != nil {
+		return err
+	}
+	if err := m.SaveLastMoves(movesPath(store)); err != nil {
+		return err
+	}
+	if len(moves) == 0 {
+		fmt.Println("tiering stable: no moves")
+		return nil
+	}
+	for _, mv := range moves {
+		dir := "demote"
+		if mv.Promote {
+			dir = "promote"
+		}
+		fmt.Printf("%s %s: %s -> %s (heat %.2f, %d block-units moved)\n",
+			dir, mv.Name, mv.From, mv.To, mv.Heat, mv.BlocksMoved)
+	}
 	return nil
 }
 

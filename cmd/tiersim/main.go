@@ -1,0 +1,149 @@
+// Command tiersim replays a Zipf-skewed file-access workload against
+// the simulated cluster under several tiering policies and prints the
+// storage-overhead vs degraded-read frontier: static all-cold RS,
+// static all-hot, and adaptive policies at increasing promote
+// thresholds. Hot files on a double-replication code read locally even
+// with failed nodes; cold RS files pay k-block degraded reads; the
+// adaptive rows show how much of the hot tier's read latency a policy
+// buys back per unit of storage overhead, plus the transcode traffic
+// it costs.
+//
+// Usage:
+//
+//	tiersim [-files N] [-blocks B] [-accesses A] [-zipf S] [-rate R]
+//	        [-nodes N] [-failed F] [-hot CODE] [-cold CODE]
+//	        [-halflife S] [-every S] [-blockmb MB] [-netmbps MBPS] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+	"repro/internal/sim"
+	"repro/internal/tier"
+	"repro/internal/workload"
+)
+
+func main() {
+	files := flag.Int("files", 40, "distinct files")
+	blocks := flag.Int("blocks", 20, "data blocks per file")
+	accesses := flag.Int("accesses", 8000, "trace length")
+	zipfS := flag.Float64("zipf", 1.4, "Zipf exponent (>1)")
+	rate := flag.Float64("rate", 20, "accesses per second")
+	nodes := flag.Int("nodes", 30, "cluster data nodes")
+	failed := flag.Int("failed", 2, "failed nodes during the replay")
+	hot := flag.String("hot", "pentagon", "hot-tier code")
+	cold := flag.String("cold", "rs-14-10", "cold-tier code")
+	halfLife := flag.Float64("halflife", 60, "heat half-life, seconds")
+	every := flag.Float64("every", 10, "rebalance interval, seconds")
+	blockMB := flag.Float64("blockmb", 64, "block size, MB")
+	netMBps := flag.Float64("netmbps", 100, "per-NIC bandwidth, MB/s")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	trace, err := workload.ZipfTrace(workload.TraceConfig{
+		Files: *files, Accesses: *accesses, ZipfS: *zipfS, Rate: *rate, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	end := trace[len(trace)-1].Time
+
+	// The same nodes fail in every run, for a fair comparison.
+	isDown := make(map[int]bool, *failed)
+	frng := rand.New(rand.NewSource(*seed + 1))
+	for len(isDown) < *failed && len(isDown) < *nodes-1 {
+		isDown[frng.Intn(*nodes)] = true
+	}
+	down := func(v int) bool { return isDown[v] }
+
+	type row struct {
+		label     string
+		startCode string
+		policy    tier.Policy
+		every     float64
+	}
+	rows := []row{
+		// Static baselines: thresholds that can never fire.
+		{label: "all-cold " + *cold, startCode: *cold,
+			policy: tier.Policy{HotCode: *hot, ColdCode: *cold, PromoteAt: 1, DemoteAt: 0},
+			every:  end + 1},
+		{label: "all-hot " + *hot, startCode: *hot,
+			policy: tier.Policy{HotCode: *hot, ColdCode: *cold, PromoteAt: 1, DemoteAt: 0},
+			every:  end + 1},
+	}
+	for _, promote := range []float64{4, 8, 16} {
+		rows = append(rows, row{
+			label:     fmt.Sprintf("tier p=%g/d=%g", promote, promote/4),
+			startCode: *cold,
+			policy: tier.Policy{HotCode: *hot, ColdCode: *cold,
+				PromoteAt: promote, DemoteAt: promote / 4, MinDwell: *every},
+			every: *every,
+		})
+	}
+
+	fmt.Printf("tiersim: %d files x %d blocks, %d accesses (zipf %.2f), %d nodes, %d failed, hot=%s cold=%s\n\n",
+		*files, *blocks, *accesses, *zipfS, *nodes, *failed, *hot, *cold)
+	fmt.Printf("%-22s %8s %6s %10s %10s %10s %11s %11s\n",
+		"policy", "hot-end", "moves", "moved-blk", "overhead", "deg-reads", "xfers/read", "read-ms")
+
+	for _, r := range rows {
+		ct := tier.NewClusterTarget(*nodes, *blocks, rand.New(rand.NewSource(*seed)))
+		for i := 0; i < *files; i++ {
+			if err := ct.AddFile(workload.TraceFileName(i), r.startCode); err != nil {
+				fatal(err)
+			}
+		}
+		m, err := tier.NewManager(ct, r.policy, tier.NewTracker(*halfLife))
+		if err != nil {
+			fatal(err)
+		}
+
+		// Meter reads and integrate storage overhead over time.
+		var transfers, degraded int
+		var overheadIntegral, lastT float64
+		onAccess := func(name string, now float64) error {
+			phys, data := ct.StorageBlocks()
+			overheadIntegral += float64(phys) / float64(data) * (now - lastT)
+			lastT = now
+			cost, err := ct.ReadCost(name, down)
+			if err != nil {
+				return err
+			}
+			transfers += cost
+			if cost > 0 {
+				degraded++
+			}
+			return nil
+		}
+		stats, err := tier.Replay(sim.NewEngine(), trace, m, r.every, onAccess)
+		if err != nil {
+			fatal(err)
+		}
+
+		hotEnd := 0
+		for _, name := range ct.Files() {
+			if code, _ := ct.FileCode(name); code == *hot {
+				hotEnd++
+			}
+		}
+		avgOverhead := overheadIntegral / lastT
+		xfersPerRead := float64(transfers) / float64(stats.Accesses)
+		readMS := xfersPerRead * *blockMB / *netMBps * 1000
+		fmt.Printf("%-22s %5d/%-2d %6d %10d %9.2fx %10d %11.2f %11.0f\n",
+			r.label, hotEnd, *files, stats.Promotions+stats.Demotions,
+			stats.BlocksMoved, avgOverhead, degraded, xfersPerRead, readMS)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tiersim:", err)
+	os.Exit(1)
+}

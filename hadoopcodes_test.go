@@ -181,3 +181,73 @@ func TestFacadeRSAndStore(t *testing.T) {
 		t.Fatal("facade store round trip failed")
 	}
 }
+
+func TestFacadeTiering(t *testing.T) {
+	s, err := CreateStore(t.TempDir(), "rs-14-10", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("tier"), 25_000)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewHeatTracker(100)
+	m, err := NewTierManager(s, TierPolicy{
+		HotCode: "pentagon", ColdCode: "rs-14-10", PromoteAt: 3, DemoteAt: 1,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := 0.0
+	s.OnRead = func(name string) { m.OnRead(name, clock) }
+	for i := 0; i < 4; i++ {
+		if _, err := s.Get("f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, err := m.Rebalance(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || !moves[0].Promote {
+		t.Fatalf("facade promotion moves = %+v", moves)
+	}
+	if code, _ := s.FileCode("f"); code != "pentagon" {
+		t.Fatalf("facade code = %q", code)
+	}
+	got, err := s.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("facade tiering changed bytes")
+	}
+}
+
+func TestFacadeTieringReplay(t *testing.T) {
+	trace, err := ZipfTrace(WorkloadTraceConfig{
+		Files: 10, Accesses: 500, ZipfS: 1.5, Rate: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := NewTierClusterTarget(30, 20, rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		if err := ct.AddFile(TraceFileName(i), "rs-14-10"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewClusterTierManager(ct, TierPolicy{
+		HotCode: "pentagon", ColdCode: "rs-14-10", PromoteAt: 5, DemoteAt: 1,
+	}, NewHeatTracker(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReplayTiering(NewSimEngine(), trace, m, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses != 500 || stats.Promotions == 0 {
+		t.Fatalf("facade replay stats = %+v", stats)
+	}
+}

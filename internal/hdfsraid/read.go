@@ -15,17 +15,26 @@ import (
 // It returns the block bytes and the number of block-unit transfers
 // the read cost (0 for a healthy replica read).
 func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fi, ok := s.manifest.Files[name]
 	if !ok {
 		return nil, 0, fmt.Errorf("hdfsraid: no such file %q", name)
 	}
+	cc, err := s.fileCodec(fi)
+	if err != nil {
+		return nil, 0, err
+	}
 	if stripe < 0 || stripe >= fi.Stripes {
 		return nil, 0, fmt.Errorf("hdfsraid: stripe %d out of range", stripe)
 	}
-	if symbol < 0 || symbol >= s.code.DataSymbols() {
+	if symbol < 0 || symbol >= cc.code.DataSymbols() {
 		return nil, 0, fmt.Errorf("hdfsraid: symbol %d is not a data symbol", symbol)
 	}
-	p := s.code.Placement()
+	if s.OnRead != nil {
+		s.OnRead(name)
+	}
+	p := cc.code.Placement()
 
 	// Fast path: a healthy replica.
 	var downNodes []int
@@ -39,9 +48,9 @@ func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) 
 
 	// Degraded path: plan a partial-parity read around the dead
 	// replicas.
-	rp, ok := s.code.(core.ReadPlanner)
+	rp, ok := cc.code.(core.ReadPlanner)
 	if !ok {
-		return nil, 0, fmt.Errorf("hdfsraid: code %s cannot plan reads", s.code.Name())
+		return nil, 0, fmt.Errorf("hdfsraid: code %s cannot plan reads", cc.code.Name())
 	}
 	plan, err := rp.PlanRead(symbol, downNodes, core.OffCluster)
 	if err != nil {

@@ -1,0 +1,117 @@
+package hdfsraid
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestReadBlockDegradedAllCodes exercises the degraded-read path the
+// transcoder depends on for every registered code: kill every replica
+// holder of each data symbol in turn and read it back through partial
+// parities (or a k-block RS decode).
+func TestReadBlockDegradedAllCodes(t *testing.T) {
+	for _, codeName := range core.Names() {
+		t.Run(codeName, func(t *testing.T) {
+			s := newStore(t, codeName)
+			k := s.Code().DataSymbols()
+			data := randomFile(t, 2*blockSize*k, 40)
+			if err := s.Put("f", data); err != nil {
+				t.Fatal(err)
+			}
+			p := s.Code().Placement()
+			tol := s.Code().FaultTolerance()
+			for sym := 0; sym < k; sym++ {
+				holders := p.SymbolNodes[sym]
+				if len(holders) > tol {
+					// Killing every holder exceeds the code's node
+					// tolerance (e.g. 3-rep); skip this symbol.
+					continue
+				}
+				for _, v := range holders {
+					if err := s.KillNode(v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for stripe := 0; stripe < 2; stripe++ {
+					got, cost, err := s.ReadBlock("f", stripe, sym)
+					if err != nil {
+						t.Fatalf("symbol %d stripe %d: %v", sym, stripe, err)
+					}
+					if cost <= 0 {
+						t.Fatalf("symbol %d: degraded read reported %d transfers", sym, cost)
+					}
+					off := (stripe*k + sym) * blockSize
+					if !bytes.Equal(got, data[off:off+blockSize]) {
+						t.Fatalf("symbol %d stripe %d: wrong bytes", sym, stripe)
+					}
+				}
+				// Restore the nodes for the next symbol's failure.
+				if _, err := s.Repair(holders); err != nil {
+					t.Fatalf("repairing %v: %v", holders, err)
+				}
+			}
+		})
+	}
+}
+
+// TestReadBlockHealthyAllCodes reads every data block of every code
+// with no failures: zero-transfer replica reads, correct bytes.
+func TestReadBlockHealthyAllCodes(t *testing.T) {
+	for _, codeName := range core.Names() {
+		t.Run(codeName, func(t *testing.T) {
+			s := newStore(t, codeName)
+			k := s.Code().DataSymbols()
+			data := randomFile(t, blockSize*k, 41)
+			if err := s.Put("f", data); err != nil {
+				t.Fatal(err)
+			}
+			for sym := 0; sym < k; sym++ {
+				got, cost, err := s.ReadBlock("f", 0, sym)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cost != 0 {
+					t.Fatalf("healthy read of symbol %d cost %d", sym, cost)
+				}
+				if !bytes.Equal(got, data[sym*blockSize:(sym+1)*blockSize]) {
+					t.Fatalf("symbol %d wrong", sym)
+				}
+			}
+		})
+	}
+}
+
+// TestReadBlockSingleFailureAllCodes kills one replica holder per
+// symbol: double-replication codes still read the surviving replica at
+// zero transfer cost, single-copy codes pay a degraded read.
+func TestReadBlockSingleFailureAllCodes(t *testing.T) {
+	for _, codeName := range core.Names() {
+		t.Run(codeName, func(t *testing.T) {
+			s := newStore(t, codeName)
+			k := s.Code().DataSymbols()
+			data := randomFile(t, blockSize*k, 42)
+			if err := s.Put("f", data); err != nil {
+				t.Fatal(err)
+			}
+			holders := s.Code().Placement().SymbolNodes[0]
+			if err := s.KillNode(holders[0]); err != nil {
+				t.Fatal(err)
+			}
+			got, cost, err := s.ReadBlock("f", 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(holders) > 1 && cost != 0 {
+				t.Fatalf("replicated code paid %d transfers with one holder down", cost)
+			}
+			if len(holders) == 1 && cost == 0 {
+				t.Fatal("single-copy code read a dead block for free")
+			}
+			if !bytes.Equal(got, data[:blockSize]) {
+				t.Fatal("wrong bytes")
+			}
+		})
+	}
+}

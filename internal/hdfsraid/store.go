@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -36,14 +37,42 @@ type Manifest struct {
 type FileInfo struct {
 	Length  int `json:"length"`
 	Stripes int `json:"stripes"`
+	// Code is the file's coding scheme when it differs from the store
+	// default, e.g. after a tiering transcode. Empty means the store
+	// code.
+	Code string `json:"tier_code,omitempty"`
 }
 
-// Store is an open on-disk cluster.
+// Store is an open on-disk cluster. Reads may run concurrently with
+// each other and with Transcode: mu guards the manifest's file table,
+// codecMu the per-code codec cache.
 type Store struct {
-	root     string
-	code     core.Code
-	striper  *core.Striper
+	root    string
+	code    core.Code
+	striper *core.Striper
+
+	mu       sync.RWMutex
 	manifest Manifest
+
+	codecMu sync.Mutex
+	codecs  map[string]codec // per-code cache for tiered files
+
+	// tcMu serializes transcodes: staged .tc block names are derived
+	// from the target layout, so two in-flight moves of one file
+	// would share staging paths.
+	tcMu sync.Mutex
+
+	// OnRead, when non-nil, is invoked with the file name on every
+	// Get and ReadBlock access. The tier subsystem hooks it to feed
+	// heat tracking; it must be cheap and non-blocking. Set it before
+	// serving concurrent reads.
+	OnRead func(name string)
+}
+
+// codec bundles a code with its striper for one block size.
+type codec struct {
+	code    core.Code
+	striper *core.Striper
 }
 
 const manifestName = "manifest.json"
@@ -64,11 +93,10 @@ func Create(root, codeName string, blockSize int) (*Store, error) {
 	s := &Store{
 		root: root, code: c, striper: st,
 		manifest: Manifest{CodeName: codeName, BlockSize: blockSize, Files: map[string]FileInfo{}},
+		codecs:   map[string]codec{codeName: {c, st}},
 	}
-	for v := 0; v < c.Nodes(); v++ {
-		if err := os.MkdirAll(s.nodeDir(v), 0o755); err != nil {
-			return nil, err
-		}
+	if err := s.ensureNodeDirs(c.Nodes()); err != nil {
+		return nil, err
 	}
 	if err := s.saveManifest(); err != nil {
 		return nil, err
@@ -97,14 +125,93 @@ func Open(root string) (*Store, error) {
 	if m.Files == nil {
 		m.Files = map[string]FileInfo{}
 	}
-	return &Store{root: root, code: c, striper: st, manifest: m}, nil
+	s := &Store{root: root, code: c, striper: st, manifest: m,
+		codecs: map[string]codec{m.CodeName: {c, st}}}
+	// Fail fast if the manifest references an unregistered tier code.
+	for name, fi := range m.Files {
+		if _, err := s.fileCodec(fi); err != nil {
+			return nil, fmt.Errorf("hdfsraid: file %q: %w", name, err)
+		}
+	}
+	return s, nil
 }
 
-// Code returns the store's coding scheme.
+// Code returns the store's default coding scheme (files may be tiered
+// onto other codes; see FileCode).
 func (s *Store) Code() core.Code { return s.code }
+
+// FileCode returns the effective code name of a stored file.
+func (s *Store) FileCode(name string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, ok := s.manifest.Files[name]
+	if !ok {
+		return "", false
+	}
+	if fi.Code == "" {
+		return s.manifest.CodeName, true
+	}
+	return fi.Code, true
+}
+
+// fileCodec resolves the code and striper a file is stored under.
+// (CodeName and BlockSize are immutable after open, so only the codec
+// cache needs guarding.)
+func (s *Store) fileCodec(fi FileInfo) (codec, error) {
+	name := fi.Code
+	if name == "" {
+		name = s.manifest.CodeName
+	}
+	s.codecMu.Lock()
+	defer s.codecMu.Unlock()
+	if cc, ok := s.codecs[name]; ok {
+		return cc, nil
+	}
+	c, err := core.New(name)
+	if err != nil {
+		return codec{}, err
+	}
+	st, err := core.NewStriper(c, s.manifest.BlockSize)
+	if err != nil {
+		return codec{}, err
+	}
+	cc := codec{c, st}
+	s.codecs[name] = cc
+	return cc, nil
+}
+
+// Nodes returns the number of node directories the store spans: the
+// default code's length, or more when tiered files use longer codes.
+func (s *Store) Nodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.code.Nodes()
+	for _, fi := range s.manifest.Files {
+		if cc, err := s.fileCodec(fi); err == nil && cc.code.Nodes() > n {
+			n = cc.code.Nodes()
+		}
+	}
+	return n
+}
+
+// ensureNodeDirs creates node directories 0..n-1 as needed.
+func (s *Store) ensureNodeDirs(n int) error {
+	for v := 0; v < n; v++ {
+		if err := os.MkdirAll(s.nodeDir(v), 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Files lists stored file names in sorted order.
 func (s *Store) Files() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.filesLocked()
+}
+
+func (s *Store) filesLocked() []string {
 	names := make([]string, 0, len(s.manifest.Files))
 	for n := range s.manifest.Files {
 		names = append(names, n)
@@ -115,6 +222,8 @@ func (s *Store) Files() []string {
 
 // Info returns metadata for a stored file.
 func (s *Store) Info(name string) (FileInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fi, ok := s.manifest.Files[name]
 	return fi, ok
 }
@@ -165,6 +274,8 @@ func readBlock(path string, blockSize int) ([]byte, error) {
 // Put stripes, encodes and stores a file, writing every symbol replica
 // to its placement node.
 func (s *Store) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if name == "" || filepath.Base(name) != name {
 		return fmt.Errorf("hdfsraid: invalid file name %q", name)
 	}
@@ -192,14 +303,31 @@ func (s *Store) Put(name string, data []byte) error {
 // Get reads a file back, decoding around missing or corrupt blocks as
 // long as each stripe remains within the code's erasure tolerance.
 func (s *Store) Get(name string) ([]byte, error) {
+	return s.get(name, false)
+}
+
+// get is Get with an internal flag: maintenance reads (transcodes)
+// skip the heat hook so tiering moves don't count as accesses. The
+// read lock spans the whole read, so a concurrent transcode's block
+// swap can never be observed half-done.
+func (s *Store) get(name string, internal bool) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	fi, ok := s.manifest.Files[name]
 	if !ok {
 		return nil, fmt.Errorf("hdfsraid: no such file %q", name)
 	}
-	p := s.code.Placement()
+	if !internal && s.OnRead != nil {
+		s.OnRead(name)
+	}
+	cc, err := s.fileCodec(fi)
+	if err != nil {
+		return nil, err
+	}
+	p := cc.code.Placement()
 	stripes := make([]core.EncodedStripe, fi.Stripes)
 	for i := 0; i < fi.Stripes; i++ {
-		symbols := make([][]byte, s.code.Symbols())
+		symbols := make([][]byte, cc.code.Symbols())
 		for sym := range symbols {
 			for _, v := range p.SymbolNodes[sym] {
 				data, err := readBlock(s.blockPath(v, name, i, sym), s.manifest.BlockSize)
@@ -211,12 +339,12 @@ func (s *Store) Get(name string) ([]byte, error) {
 		}
 		stripes[i] = core.EncodedStripe{Index: i, Symbols: symbols}
 	}
-	return s.striper.DecodeFile(stripes, fi.Length)
+	return cc.striper.DecodeFile(stripes, fi.Length)
 }
 
 // KillNode erases a node's directory contents, simulating node loss.
 func (s *Store) KillNode(v int) error {
-	if v < 0 || v >= s.code.Nodes() {
+	if v < 0 || v >= s.Nodes() {
 		return fmt.Errorf("hdfsraid: invalid node %d", v)
 	}
 	if err := os.RemoveAll(s.nodeDir(v)); err != nil {
@@ -237,23 +365,53 @@ type RepairReport struct {
 // blocks. Only the plans' transfers touch data from other nodes, so
 // the report's Transfers is the true network bill.
 func (s *Store) Repair(failed []int) (RepairReport, error) {
-	planner, ok := s.code.(core.RepairPlanner)
-	if !ok {
-		return RepairReport{}, fmt.Errorf("hdfsraid: code %s cannot plan repairs", s.code.Name())
-	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var rep RepairReport
-	p := s.code.Placement()
-	for _, name := range s.Files() {
+	// Reject out-of-range node indices up front: the per-file filter
+	// below must only drop nodes a *narrower* file code doesn't span,
+	// never hide a typo as a successful no-op repair.
+	max := s.code.Nodes()
+	for _, fi := range s.manifest.Files {
+		if cc, err := s.fileCodec(fi); err == nil && cc.code.Nodes() > max {
+			max = cc.code.Nodes()
+		}
+	}
+	for _, f := range failed {
+		if f < 0 || f >= max {
+			return rep, fmt.Errorf("hdfsraid: invalid node %d", f)
+		}
+	}
+	for _, name := range s.filesLocked() {
 		fi := s.manifest.Files[name]
+		cc, err := s.fileCodec(fi)
+		if err != nil {
+			return rep, err
+		}
+		planner, ok := cc.code.(core.RepairPlanner)
+		if !ok {
+			return rep, fmt.Errorf("hdfsraid: code %s cannot plan repairs", cc.code.Name())
+		}
+		// Nodes beyond this file's code length hold none of its blocks.
+		var fileFailed []int
+		for _, f := range failed {
+			if f < cc.code.Nodes() {
+				fileFailed = append(fileFailed, f)
+			}
+		}
+		if len(fileFailed) == 0 {
+			continue
+		}
+		p := cc.code.Placement()
 		for i := 0; i < fi.Stripes; i++ {
-			plan, err := planner.PlanRepair(failed)
+			plan, err := planner.PlanRepair(fileFailed)
 			if err != nil {
 				return rep, err
 			}
 			// Load surviving node contents.
-			nc := make(core.NodeContents, s.code.Nodes())
+			nc := make(core.NodeContents, cc.code.Nodes())
 			isFailed := map[int]bool{}
-			for _, f := range failed {
+			for _, f := range fileFailed {
 				isFailed[f] = true
 			}
 			for v := range nc {
@@ -273,7 +431,7 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 				return rep, fmt.Errorf("hdfsraid: %s stripe %d: %w", name, i, err)
 			}
 			// Persist the restored replicas.
-			for _, f := range failed {
+			for _, f := range fileFailed {
 				for _, sym := range p.NodeSymbols[f] {
 					buf, ok := nc[f][sym]
 					if !ok {
@@ -305,12 +463,18 @@ func (r FsckReport) Healthy() bool { return r.Missing == 0 && r.Corrupt == 0 }
 
 // Fsck scans every expected block replica of every file.
 func (s *Store) Fsck() (FsckReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var rep FsckReport
-	p := s.code.Placement()
-	for _, name := range s.Files() {
+	for _, name := range s.filesLocked() {
 		fi := s.manifest.Files[name]
+		cc, err := s.fileCodec(fi)
+		if err != nil {
+			return rep, err
+		}
+		p := cc.code.Placement()
 		for i := 0; i < fi.Stripes; i++ {
-			for sym := 0; sym < s.code.Symbols(); sym++ {
+			for sym := 0; sym < cc.code.Symbols(); sym++ {
 				for _, v := range p.SymbolNodes[sym] {
 					rep.Blocks++
 					_, err := readBlock(s.blockPath(v, name, i, sym), s.manifest.BlockSize)

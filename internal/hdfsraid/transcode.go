@@ -1,0 +1,134 @@
+package hdfsraid
+
+import (
+	"fmt"
+	"os"
+)
+
+// TranscodeReport summarizes one online transcode.
+type TranscodeReport struct {
+	From, To       string // code names
+	Stripes        int    // stripes written under the new code
+	BlocksWritten  int    // physical block replicas written
+	BlocksRemoved  int    // old block replicas deleted
+	DataBlocksRead int    // data blocks recovered from the old code
+}
+
+// tmpSuffix marks staged transcode blocks; they become visible only
+// after every stripe of the new encoding is safely on disk.
+const tmpSuffix = ".tc"
+
+// Transcode re-encodes a stored file from its current code to the
+// named registered code without losing data: the file is recovered
+// through the old code's (possibly degraded) read path, re-striped and
+// re-encoded under the new code, staged beside the old blocks, and
+// only then swapped in and recorded in the manifest. It is the move
+// primitive of the hot/cold tiering layer: promote cold RS files to a
+// double-replication code when they heat up, demote them back when
+// they cool.
+func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
+	s.tcMu.Lock()
+	defer s.tcMu.Unlock()
+	fi, ok := s.Info(name)
+	if !ok {
+		return TranscodeReport{}, fmt.Errorf("hdfsraid: no such file %q", name)
+	}
+	oldCC, err := s.fileCodec(fi)
+	if err != nil {
+		return TranscodeReport{}, err
+	}
+	rep := TranscodeReport{From: oldCC.code.Name()}
+	newCC, err := s.fileCodec(FileInfo{Code: codeName})
+	if err != nil {
+		return rep, err
+	}
+	rep.To = newCC.code.Name()
+	if newCC.code.Name() == oldCC.code.Name() {
+		return rep, nil // already on the target code
+	}
+
+	// Recover the file bytes through the old code, tolerating dead
+	// nodes up to its fault tolerance. The internal read skips the
+	// heat hook: a tiering move is not an access.
+	data, err := s.get(name, true)
+	if err != nil {
+		return rep, fmt.Errorf("hdfsraid: transcode %q: %w", name, err)
+	}
+	rep.DataBlocksRead = oldCC.striper.StripeCount(len(data)) * oldCC.code.DataSymbols()
+
+	// Encode under the new code and stage every replica.
+	stripes, err := newCC.striper.EncodeFileConcurrent(data, 0)
+	if err != nil {
+		return rep, err
+	}
+	if err := s.ensureNodeDirs(newCC.code.Nodes()); err != nil {
+		return rep, err
+	}
+	newP := newCC.code.Placement()
+	var staged []string
+	for _, stripe := range stripes {
+		for sym, buf := range stripe.Symbols {
+			for _, v := range newP.SymbolNodes[sym] {
+				path := s.blockPath(v, name, stripe.Index, sym)
+				if err := writeBlock(path+tmpSuffix, buf); err != nil {
+					removeAll(staged)
+					return rep, err
+				}
+				staged = append(staged, path)
+			}
+		}
+	}
+
+	// Point of no return: with readers excluded, drop the old
+	// replicas, promote the staged ones, record the new code.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur := s.manifest.Files[name]; cur != fi {
+		removeAll(staged)
+		return rep, fmt.Errorf("hdfsraid: file %q changed during transcode", name)
+	}
+	oldP := oldCC.code.Placement()
+	for i := 0; i < fi.Stripes; i++ {
+		for sym := 0; sym < oldCC.code.Symbols(); sym++ {
+			for _, v := range oldP.SymbolNodes[sym] {
+				if err := os.Remove(s.blockPath(v, name, i, sym)); err == nil {
+					rep.BlocksRemoved++
+				}
+			}
+		}
+	}
+	for _, path := range staged {
+		if err := os.Rename(path+tmpSuffix, path); err != nil {
+			return rep, err
+		}
+		rep.BlocksWritten++
+	}
+	rep.Stripes = len(stripes)
+	s.manifest.Files[name] = FileInfo{Length: fi.Length, Stripes: len(stripes), Code: codeName}
+	return rep, s.saveManifest()
+}
+
+// removeAll best-effort deletes staged temp blocks after a failure.
+func removeAll(staged []string) {
+	for _, p := range staged {
+		os.Remove(p + tmpSuffix)
+	}
+}
+
+// TranscodeCost returns the block-unit traffic bill of moving a file of
+// the given byte length between two registered codes at the store's
+// block size: data blocks read plus physical replicas written. It lets
+// policy engines price a move without performing it.
+func (s *Store) TranscodeCost(length int, fromName, toName string) (int, error) {
+	from, err := s.fileCodec(FileInfo{Code: fromName})
+	if err != nil {
+		return 0, err
+	}
+	to, err := s.fileCodec(FileInfo{Code: toName})
+	if err != nil {
+		return 0, err
+	}
+	read := from.striper.StripeCount(length) * from.code.DataSymbols()
+	written := to.striper.StripeCount(length) * to.code.Placement().TotalBlocks()
+	return read + written, nil
+}

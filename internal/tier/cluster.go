@@ -1,0 +1,152 @@
+package tier
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// ClusterTarget is a Target over the simulated cluster placement
+// model: files are striped across a cluster of Nodes data nodes by
+// cluster.PlaceFile, and a transcode re-places the file under the new
+// code, paying the read-plus-write traffic a real RaidNode would. It
+// backs the tiersim experiment binary, where thousands of moves must
+// be priced without touching disk.
+type ClusterTarget struct {
+	Nodes         int
+	BlocksPerFile int
+
+	rng   *rand.Rand
+	files map[string]*placedFile
+}
+
+type placedFile struct {
+	codeName string
+	file     *cluster.File
+}
+
+// NewClusterTarget returns an empty target over a cluster of nodes
+// data nodes, blocksPerFile data blocks per file.
+func NewClusterTarget(nodes, blocksPerFile int, rng *rand.Rand) *ClusterTarget {
+	return &ClusterTarget{Nodes: nodes, BlocksPerFile: blocksPerFile,
+		rng: rng, files: map[string]*placedFile{}}
+}
+
+// AddFile places a new file under the named code.
+func (t *ClusterTarget) AddFile(name, codeName string) error {
+	if _, dup := t.files[name]; dup {
+		return fmt.Errorf("tier: file %q already placed", name)
+	}
+	pf, err := t.place(codeName)
+	if err != nil {
+		return err
+	}
+	t.files[name] = pf
+	return nil
+}
+
+func (t *ClusterTarget) place(codeName string) (*placedFile, error) {
+	c, err := core.New(codeName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := cluster.PlaceFile(c, t.Nodes, t.BlocksPerFile, t.rng)
+	if err != nil {
+		return nil, err
+	}
+	return &placedFile{codeName: codeName, file: f}, nil
+}
+
+// Files lists placed file names in sorted order.
+func (t *ClusterTarget) Files() []string {
+	names := make([]string, 0, len(t.files))
+	for n := range t.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FileCode returns a file's current code name.
+func (t *ClusterTarget) FileCode(name string) (string, bool) {
+	pf, ok := t.files[name]
+	if !ok {
+		return "", false
+	}
+	return pf.codeName, true
+}
+
+// Transcode re-places the file under the new code and returns the
+// block-unit traffic: every data block read once plus every physical
+// replica of the new layout written.
+func (t *ClusterTarget) Transcode(name, codeName string) (int, error) {
+	pf, ok := t.files[name]
+	if !ok {
+		return 0, fmt.Errorf("tier: no such file %q", name)
+	}
+	if pf.codeName == codeName {
+		return 0, nil
+	}
+	moved, err := t.place(codeName)
+	if err != nil {
+		return 0, err
+	}
+	t.files[name] = moved
+	return t.BlocksPerFile + physicalBlocks(moved.file), nil
+}
+
+// physicalBlocks counts the block replicas a placed file occupies.
+func physicalBlocks(f *cluster.File) int {
+	return len(f.StripeNodes) * f.Code.Placement().TotalBlocks()
+}
+
+// StorageBlocks returns the physical and data block totals across all
+// placed files; their ratio is the cluster's current storage overhead.
+func (t *ClusterTarget) StorageBlocks() (physical, data int) {
+	for _, pf := range t.files {
+		physical += physicalBlocks(pf.file)
+		data += t.BlocksPerFile
+	}
+	return physical, data
+}
+
+// ReadCost simulates one locality-scheduled read of a uniformly random
+// block of the file while the nodes for which down reports true are
+// dead: a map task lands on a live replica holder when one exists
+// (local read, zero transfers), otherwise on a random live node that
+// must fetch — one block for a surviving remote replica, a partial-
+// parity or k-block decode when every replica is gone. It returns the
+// network transfers the read cost.
+func (t *ClusterTarget) ReadCost(name string, down func(int) bool) (int, error) {
+	pf, ok := t.files[name]
+	if !ok {
+		return 0, fmt.Errorf("tier: no such file %q", name)
+	}
+	b := pf.file.Blocks[t.rng.Intn(len(pf.file.Blocks))]
+	for _, v := range b.Replicas {
+		if !down(v) {
+			return 0, nil // task scheduled data-local
+		}
+	}
+	var live []int
+	for v := 0; v < t.Nodes; v++ {
+		if !down(v) {
+			live = append(live, v)
+		}
+	}
+	if len(live) == 0 {
+		return 0, fmt.Errorf("tier: no live node to read %q from", name)
+	}
+	at := live[t.rng.Intn(len(live))]
+	fetches, local, err := pf.file.ReadPlan(b.ID, down, at)
+	if err != nil {
+		return 0, err
+	}
+	if local {
+		return 0, nil
+	}
+	return len(fetches), nil
+}

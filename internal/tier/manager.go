@@ -1,0 +1,159 @@
+package tier
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/hdfsraid"
+)
+
+// Target is a store the tiering manager can move files across codes
+// in. Both the on-disk HDFS-RAID store and the simulated cluster
+// placement satisfy it.
+type Target interface {
+	// Files lists stored file names.
+	Files() []string
+	// FileCode returns the effective code name of a file.
+	FileCode(name string) (string, bool)
+	// Transcode moves a file to the named code and returns the
+	// block-unit traffic the move cost.
+	Transcode(name, codeName string) (moved int, err error)
+}
+
+// Manager glues tracker, policy and target together: hook OnRead into
+// the data path (or a trace replay), call Rebalance periodically, and
+// files migrate between the hot and cold codes as their heat crosses
+// the policy thresholds.
+type Manager struct {
+	Tracker *Tracker
+	Policy  Policy
+	Target  Target
+
+	lastMove map[string]float64
+}
+
+// NewManager validates the policy and returns a manager using the
+// given tracker (heat state often outlives one manager).
+func NewManager(target Target, policy Policy, tracker *Tracker) (*Manager, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if tracker == nil {
+		return nil, fmt.Errorf("tier: nil tracker")
+	}
+	return &Manager{Tracker: tracker, Policy: policy, Target: target,
+		lastMove: map[string]float64{}}, nil
+}
+
+// OnRead records one access at time now; bind it to the store's read
+// hook with the clock of your choice.
+func (m *Manager) OnRead(name string, now float64) { m.Tracker.Touch(name, now) }
+
+// LastMoves returns a copy of the per-file last-transcode times, for
+// persisting MinDwell state across short-lived processes.
+func (m *Manager) LastMoves() map[string]float64 {
+	out := make(map[string]float64, len(m.lastMove))
+	for name, t := range m.lastMove {
+		out[name] = t
+	}
+	return out
+}
+
+// RestoreLastMoves seeds the per-file last-transcode times, so a
+// reconstructed manager keeps honoring MinDwell.
+func (m *Manager) RestoreLastMoves(moves map[string]float64) {
+	for name, t := range moves {
+		m.lastMove[name] = t
+	}
+}
+
+// SaveLastMoves writes the per-file last-transcode times as JSON to
+// path — the dwell-state counterpart of Tracker.Save for short-lived
+// processes.
+func (m *Manager) SaveLastMoves(path string) error {
+	raw, err := json.MarshalIndent(m.lastMove, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// LoadLastMoves restores per-file last-transcode times saved with
+// SaveLastMoves. A missing file is an empty history.
+func (m *Manager) LoadLastMoves(path string) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	moves := map[string]float64{}
+	if err := json.Unmarshal(raw, &moves); err != nil {
+		return err
+	}
+	m.RestoreLastMoves(moves)
+	return nil
+}
+
+// MoveResult is one executed tiering move.
+type MoveResult struct {
+	Move
+	BlocksMoved int
+}
+
+// States returns the policy-engine view of every file in the target at
+// time now.
+func (m *Manager) States(now float64) []FileState {
+	names := m.Target.Files()
+	states := make([]FileState, 0, len(names))
+	for _, name := range names {
+		code, ok := m.Target.FileCode(name)
+		if !ok {
+			continue
+		}
+		states = append(states, FileState{
+			Name: name, Code: code,
+			Heat:     m.Tracker.Heat(name, now),
+			LastMove: m.lastMove[name],
+		})
+	}
+	return states
+}
+
+// Rebalance asks the policy for moves at time now and executes them by
+// online transcoding. It stops at the first transcode error, returning
+// the moves already made.
+func (m *Manager) Rebalance(now float64) ([]MoveResult, error) {
+	var done []MoveResult
+	for _, mv := range m.Policy.Decide(now, m.States(now)) {
+		moved, err := m.Target.Transcode(mv.Name, mv.To)
+		if err != nil {
+			return done, fmt.Errorf("tier: moving %q to %s: %w", mv.Name, mv.To, err)
+		}
+		m.lastMove[mv.Name] = now
+		done = append(done, MoveResult{Move: mv, BlocksMoved: moved})
+	}
+	return done, nil
+}
+
+// StoreTarget adapts the on-disk HDFS-RAID store to the Target
+// interface.
+type StoreTarget struct{ Store *hdfsraid.Store }
+
+// Files lists the store's files.
+func (t StoreTarget) Files() []string { return t.Store.Files() }
+
+// FileCode returns a file's effective code name.
+func (t StoreTarget) FileCode(name string) (string, bool) { return t.Store.FileCode(name) }
+
+// Transcode re-encodes the file on disk and reports the physical
+// blocks read plus written as the move's traffic.
+func (t StoreTarget) Transcode(name, codeName string) (int, error) {
+	rep, err := t.Store.Transcode(name, codeName)
+	if err != nil {
+		return 0, err
+	}
+	return rep.DataBlocksRead + rep.BlocksWritten, nil
+}

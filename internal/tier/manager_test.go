@@ -1,0 +1,254 @@
+package tier
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+	"repro/internal/hdfsraid"
+)
+
+const blockSize = 1 << 10
+
+func randomBytes(n int, seed int64) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+// TestManagerPromoteDemoteOnDisk is the acceptance scenario: a store
+// created with RS has a file promoted to a hot double-replication code
+// by heat and demoted back when it cools, byte-identical throughout.
+func TestManagerPromoteDemoteOnDisk(t *testing.T) {
+	for _, hot := range []string{"pentagon", "heptagon-local", "2-rep"} {
+		t.Run(hot, func(t *testing.T) {
+			s, err := hdfsraid.Create(t.TempDir(), "rs-14-10", blockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := randomBytes(25*blockSize, 1)
+			if err := s.Put("f", want); err != nil {
+				t.Fatal(err)
+			}
+			tr := NewTracker(100)
+			m, err := NewManager(StoreTarget{s}, Policy{
+				HotCode: hot, ColdCode: "rs-14-10", PromoteAt: 5, DemoteAt: 1,
+			}, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.OnRead = func(name string) { m.OnRead(name, 0) }
+
+			// Cold and quiet: no moves.
+			moves, err := m.Rebalance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(moves) != 0 {
+				t.Fatalf("idle rebalance moved: %+v", moves)
+			}
+
+			// Six reads make it hot; the next rebalance promotes.
+			for i := 0; i < 6; i++ {
+				got, err := s.Get("f")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatal("pre-promotion read wrong")
+				}
+			}
+			moves, err = m.Rebalance(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(moves) != 1 || !moves[0].Promote || moves[0].To != hot {
+				t.Fatalf("promotion moves = %+v", moves)
+			}
+			if moves[0].BlocksMoved <= 0 {
+				t.Fatalf("promotion reported no traffic: %+v", moves[0])
+			}
+			if code, _ := s.FileCode("f"); code != hot {
+				t.Fatalf("file code after promote = %q", code)
+			}
+			got, err := s.Get("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("bytes changed across promotion")
+			}
+			if fsck, err := s.Fsck(); err != nil || !fsck.Healthy() {
+				t.Fatalf("unhealthy after promote: %+v, %v", fsck, err)
+			}
+
+			// Seven half-lives later the file has cooled: demote.
+			moves, err = m.Rebalance(700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(moves) != 1 || moves[0].Promote || moves[0].To != "rs-14-10" {
+				t.Fatalf("demotion moves = %+v", moves)
+			}
+			if code, _ := s.FileCode("f"); code != "rs-14-10" {
+				t.Fatalf("file code after demote = %q", code)
+			}
+			got, err = s.Get("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("bytes changed across demotion")
+			}
+		})
+	}
+}
+
+func TestManagerRejectsBadPolicy(t *testing.T) {
+	if _, err := NewManager(nil, Policy{}, NewTracker(1)); err == nil {
+		t.Fatal("accepted empty policy")
+	}
+	if _, err := NewManager(nil, testPolicy(), nil); err == nil {
+		t.Fatal("accepted nil tracker")
+	}
+}
+
+func TestClusterTargetTranscode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ct := NewClusterTarget(30, 20, rng)
+	if err := ct.AddFile("f", "rs-14-10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.AddFile("f", "rs-14-10"); err == nil {
+		t.Fatal("duplicate placement accepted")
+	}
+	phys, data := ct.StorageBlocks()
+	if data != 20 || phys != 2*14 { // 2 stripes of (14,10)
+		t.Fatalf("rs storage = %d/%d", phys, data)
+	}
+	moved, err := ct.Transcode("f", "pentagon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 blocks read + 3 pentagon stripes * 20 replicas written.
+	if moved != 20+3*20 {
+		t.Fatalf("transcode traffic = %d", moved)
+	}
+	if code, _ := ct.FileCode("f"); code != "pentagon" {
+		t.Fatalf("code = %q", code)
+	}
+	if moved, err = ct.Transcode("f", "pentagon"); err != nil || moved != 0 {
+		t.Fatalf("no-op transcode = %d, %v", moved, err)
+	}
+}
+
+func TestClusterTargetReadCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ct := NewClusterTarget(30, 10, rng)
+	if err := ct.AddFile("f", "rs-14-10"); err != nil {
+		t.Fatal(err)
+	}
+	up := func(int) bool { return false }
+	if c, err := ct.ReadCost("f", up); err != nil || c != 0 {
+		t.Fatalf("healthy read cost = %d, %v", c, err)
+	}
+	// Everything down except ten survivors still decodes, at k fetches
+	// for a single-copy RS block whose node is dead.
+	if _, err := ct.ReadCost("nope", up); err == nil {
+		t.Fatal("read of unknown file")
+	}
+}
+
+func TestClusterTargetReadCostAllDown(t *testing.T) {
+	ct := NewClusterTarget(20, 10, rand.New(rand.NewSource(5)))
+	if err := ct.AddFile("f", "rs-9-6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.ReadCost("f", func(int) bool { return true }); err == nil {
+		t.Fatal("read with every node down succeeded")
+	}
+}
+
+func TestManagerLastMovesRoundTrip(t *testing.T) {
+	s, err := hdfsraid.Create(t.TempDir(), "rs-14-10", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("f", randomBytes(10*blockSize, 2)); err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{HotCode: "pentagon", ColdCode: "rs-14-10",
+		PromoteAt: 5, DemoteAt: 1, MinDwell: 100}
+	tr := NewTracker(1e9)
+	tr.TouchN("f", 10, 0)
+	m1, err := NewManager(StoreTarget{s}, pol, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves, err := m1.Rebalance(10); err != nil || len(moves) != 1 {
+		t.Fatalf("promote: %+v, %v", moves, err)
+	}
+	// A fresh manager seeded with the old one's move times keeps the
+	// dwell guard: the file cooled but may not demote yet.
+	m2, err := NewManager(StoreTarget{s}, pol, NewTracker(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RestoreLastMoves(m1.LastMoves())
+	if moves, err := m2.Rebalance(50); err != nil || len(moves) != 0 {
+		t.Fatalf("dwell not honored after restore: %+v, %v", moves, err)
+	}
+	// Without the restore the same rebalance would thrash.
+	m3, err := NewManager(StoreTarget{s}, pol, NewTracker(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves, err := m3.Rebalance(50); err != nil || len(moves) != 1 {
+		t.Fatalf("unrestored manager should demote: %+v, %v", moves, err)
+	}
+}
+
+func TestManagerLastMovesFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "moves.json")
+	ct := NewClusterTarget(30, 20, rand.New(rand.NewSource(6)))
+	if err := ct.AddFile("f", "rs-14-10"); err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{HotCode: "pentagon", ColdCode: "rs-14-10",
+		PromoteAt: 5, DemoteAt: 1, MinDwell: 100}
+	tr := NewTracker(1e9)
+	tr.TouchN("f", 10, 0)
+	m1, err := NewManager(ct, pol, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves, err := m1.Rebalance(10); err != nil || len(moves) != 1 {
+		t.Fatalf("promote: %+v, %v", moves, err)
+	}
+	if err := m1.SaveLastMoves(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(ct, pol, NewTracker(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadLastMoves(path); err != nil {
+		t.Fatal(err)
+	}
+	if moves, err := m2.Rebalance(50); err != nil || len(moves) != 0 {
+		t.Fatalf("dwell not honored after file round trip: %+v, %v", moves, err)
+	}
+	// Missing file is an empty history, not an error.
+	m3, err := NewManager(ct, pol, NewTracker(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.LoadLastMoves(filepath.Join(t.TempDir(), "none.json")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package tier
+
+import "testing"
+
+func testPolicy() Policy {
+	return Policy{HotCode: "pentagon", ColdCode: "rs-14-10", PromoteAt: 5, DemoteAt: 1}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := testPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{HotCode: "", ColdCode: "rs-14-10", PromoteAt: 5, DemoteAt: 1},
+		{HotCode: "pentagon", ColdCode: "pentagon", PromoteAt: 5, DemoteAt: 1},
+		{HotCode: "pentagon", ColdCode: "rs-14-10", PromoteAt: 1, DemoteAt: 1},
+		{HotCode: "pentagon", ColdCode: "rs-14-10", PromoteAt: 5, DemoteAt: -1},
+		{HotCode: "pentagon", ColdCode: "rs-14-10", PromoteAt: 5, DemoteAt: 1, MinDwell: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid policy accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPolicyDecide(t *testing.T) {
+	p := testPolicy()
+	moves := p.Decide(0, []FileState{
+		{Name: "hotten", Code: "rs-14-10", Heat: 9},   // promote
+		{Name: "steady", Code: "rs-14-10", Heat: 3},   // in band: stay
+		{Name: "stayhi", Code: "pentagon", Heat: 9},   // already hot
+		{Name: "cooled", Code: "pentagon", Heat: 0.5}, // demote
+	})
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v", moves)
+	}
+	if !moves[0].Promote || moves[0].Name != "hotten" || moves[0].To != "pentagon" {
+		t.Fatalf("promote move = %+v", moves[0])
+	}
+	if moves[1].Promote || moves[1].Name != "cooled" || moves[1].To != "rs-14-10" {
+		t.Fatalf("demote move = %+v", moves[1])
+	}
+}
+
+func TestPolicyHysteresisBand(t *testing.T) {
+	p := testPolicy()
+	// Heat between the thresholds moves nothing, whatever the code.
+	for _, code := range []string{"pentagon", "rs-14-10"} {
+		if mv := p.Decide(0, []FileState{{Name: "f", Code: code, Heat: 3}}); len(mv) != 0 {
+			t.Fatalf("band heat moved %q: %+v", code, mv)
+		}
+	}
+}
+
+func TestPolicyMinDwell(t *testing.T) {
+	p := testPolicy()
+	p.MinDwell = 100
+	f := FileState{Name: "f", Code: "rs-14-10", Heat: 9, LastMove: 50}
+	if mv := p.Decide(100, []FileState{f}); len(mv) != 0 {
+		t.Fatalf("dwell violated: %+v", mv)
+	}
+	if mv := p.Decide(151, []FileState{f}); len(mv) != 1 {
+		t.Fatalf("dwell expired but no move: %+v", mv)
+	}
+	// A file that never moved is always eligible.
+	f.LastMove = 0
+	if mv := p.Decide(1, []FileState{f}); len(mv) != 1 {
+		t.Fatalf("never-moved file blocked by dwell: %+v", mv)
+	}
+}

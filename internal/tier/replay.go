@@ -1,0 +1,79 @@
+package tier
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ReplayStats summarizes one trace replay under a tiering policy.
+type ReplayStats struct {
+	Accesses    int
+	Rebalances  int
+	Promotions  int
+	Demotions   int
+	BlocksMoved int // transcode traffic, block units
+	Moves       []MoveResult
+}
+
+// Replay drives the manager from a workload trace on a discrete-event
+// engine: every access touches the tracker (and the optional onAccess
+// callback, where callers meter read costs), and the policy runs every
+// rebalanceEvery seconds of virtual time. The engine's clock is the
+// tracker's clock, so identical traces and seeds replay identically.
+func Replay(eng *sim.Engine, trace []workload.Access, m *Manager,
+	rebalanceEvery float64, onAccess func(name string, now float64) error) (ReplayStats, error) {
+	var stats ReplayStats
+	if len(trace) == 0 {
+		return stats, nil
+	}
+	if rebalanceEvery <= 0 {
+		return stats, fmt.Errorf("tier: rebalance interval must be positive, got %v", rebalanceEvery)
+	}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, a := range trace {
+		a := a
+		eng.At(a.Time, func() {
+			if firstErr != nil {
+				return
+			}
+			stats.Accesses++
+			m.OnRead(a.Name, eng.Now())
+			if onAccess != nil {
+				if err := onAccess(a.Name, eng.Now()); err != nil {
+					fail(err)
+				}
+			}
+		})
+	}
+	end := trace[len(trace)-1].Time
+	for t := rebalanceEvery; t <= end; t += rebalanceEvery {
+		eng.At(t, func() {
+			if firstErr != nil {
+				return
+			}
+			stats.Rebalances++
+			moves, err := m.Rebalance(eng.Now())
+			if err != nil {
+				fail(err)
+			}
+			for _, mv := range moves {
+				if mv.Promote {
+					stats.Promotions++
+				} else {
+					stats.Demotions++
+				}
+				stats.BlocksMoved += mv.BlocksMoved
+				stats.Moves = append(stats.Moves, mv)
+			}
+		})
+	}
+	eng.Run()
+	return stats, firstErr
+}

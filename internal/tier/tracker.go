@@ -1,0 +1,152 @@
+// Package tier implements adaptive hot/cold data tiering on top of the
+// repository's coding schemes: a decayed-access heat tracker, a
+// promote/demote policy engine with hysteresis, and a manager that
+// moves files between a hot code with inherent double replication
+// (replication, polygon, heptagon-local) and the cold RS baseline by
+// online transcoding. The design follows the paper's framing — double
+// replication codes for hot data, RS(14,10) for cold — and the
+// access-driven promotion of HotRAP-style tiered stores.
+package tier
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Tracker is a concurrency-safe heat tracker: per-file access counters
+// with exponential decay, so a file's heat is the number of recent
+// accesses discounted by age. It is fed by store read hooks or by
+// workload trace replay; time is caller-supplied (wall clock or a sim
+// engine's virtual clock) so runs stay deterministic.
+type Tracker struct {
+	mu       sync.Mutex
+	halfLife float64
+	entries  map[string]*heatEntry
+}
+
+type heatEntry struct {
+	Heat float64 `json:"heat"`
+	Last float64 `json:"last"` // time of last update, seconds
+}
+
+// NewTracker returns a tracker whose counters halve every halfLife
+// seconds of inactivity. A non-positive halfLife disables decay.
+func NewTracker(halfLife float64) *Tracker {
+	return &Tracker{halfLife: halfLife, entries: map[string]*heatEntry{}}
+}
+
+// decayed returns e's heat discounted from e.Last to now.
+func (t *Tracker) decayed(e *heatEntry, now float64) float64 {
+	if t.halfLife <= 0 || now <= e.Last {
+		return e.Heat
+	}
+	return e.Heat * math.Exp2(-(now-e.Last)/t.halfLife)
+}
+
+// Touch records one access to name at time now.
+func (t *Tracker) Touch(name string, now float64) { t.TouchN(name, 1, now) }
+
+// TouchN records n accesses to name at time now.
+func (t *Tracker) TouchN(name string, n, now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[name]
+	if !ok {
+		e = &heatEntry{}
+		t.entries[name] = e
+	}
+	e.Heat = t.decayed(e, now) + n
+	if now > e.Last {
+		e.Last = now
+	}
+}
+
+// Heat returns name's decayed heat at time now (0 if never touched).
+func (t *Tracker) Heat(name string, now float64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[name]; ok {
+		return t.decayed(e, now)
+	}
+	return 0
+}
+
+// Forget drops name's counter.
+func (t *Tracker) Forget(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, name)
+}
+
+// Len returns the number of tracked files.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// FileHeat is one tracked file's decayed heat.
+type FileHeat struct {
+	Name string
+	Heat float64
+}
+
+// Heats returns every tracked file's decayed heat at time now, hottest
+// first (ties broken by name for determinism).
+func (t *Tracker) Heats(now float64) []FileHeat {
+	t.mu.Lock()
+	out := make([]FileHeat, 0, len(t.entries))
+	for name, e := range t.entries {
+		out = append(out, FileHeat{Name: name, Heat: t.decayed(e, now)})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Heat != out[j].Heat {
+			return out[i].Heat > out[j].Heat
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// trackerState is the persisted form of a tracker.
+type trackerState struct {
+	HalfLife float64               `json:"half_life"`
+	Entries  map[string]*heatEntry `json:"entries"`
+}
+
+// Save writes the tracker state as JSON to path, so one-shot CLI
+// invocations can accumulate heat across runs.
+func (t *Tracker) Save(path string) error {
+	t.mu.Lock()
+	raw, err := json.MarshalIndent(trackerState{HalfLife: t.halfLife, Entries: t.entries}, "", "  ")
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// LoadTracker restores a tracker from path. A missing file yields a
+// fresh tracker with the given half-life.
+func LoadTracker(path string, halfLife float64) (*Tracker, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewTracker(halfLife), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var st trackerState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	tr := NewTracker(st.HalfLife)
+	if st.Entries != nil {
+		tr.entries = st.Entries
+	}
+	return tr, nil
+}

@@ -1,0 +1,107 @@
+package tier
+
+import (
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestTrackerTouchAndDecay(t *testing.T) {
+	tr := NewTracker(10) // halve every 10 s
+	tr.Touch("f", 0)
+	tr.Touch("f", 0)
+	if h := tr.Heat("f", 0); h != 2 {
+		t.Fatalf("heat = %v, want 2", h)
+	}
+	if h := tr.Heat("f", 10); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("heat after one half-life = %v, want 1", h)
+	}
+	if h := tr.Heat("f", 30); math.Abs(h-0.25) > 1e-12 {
+		t.Fatalf("heat after three half-lives = %v, want 0.25", h)
+	}
+	// A touch folds the decay in before incrementing.
+	tr.Touch("f", 10)
+	if h := tr.Heat("f", 10); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("heat after decayed touch = %v, want 2", h)
+	}
+}
+
+func TestTrackerNoDecay(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Touch("f", 0)
+	if h := tr.Heat("f", 1e9); h != 1 {
+		t.Fatalf("undecayed heat = %v, want 1", h)
+	}
+}
+
+func TestTrackerUnknownFile(t *testing.T) {
+	tr := NewTracker(10)
+	if h := tr.Heat("nope", 5); h != 0 {
+		t.Fatalf("unknown file heat = %v", h)
+	}
+}
+
+func TestTrackerHeatsSorted(t *testing.T) {
+	tr := NewTracker(10)
+	tr.TouchN("cold", 1, 0)
+	tr.TouchN("hot", 5, 0)
+	tr.TouchN("warm", 3, 0)
+	hs := tr.Heats(0)
+	if len(hs) != 3 || hs[0].Name != "hot" || hs[1].Name != "warm" || hs[2].Name != "cold" {
+		t.Fatalf("Heats = %+v", hs)
+	}
+	tr.Forget("hot")
+	if tr.Len() != 2 {
+		t.Fatalf("Len after Forget = %d", tr.Len())
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Touch("shared", float64(i))
+				tr.Heat("shared", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h := tr.Heat("shared", 1000); h != 8000 {
+		t.Fatalf("concurrent heat = %v, want 8000", h)
+	}
+}
+
+func TestTrackerSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heat.json")
+	tr := NewTracker(10)
+	tr.TouchN("f", 4, 100)
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := LoadTracker(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := tr2.Heat("f", 100); h != 4 {
+		t.Fatalf("restored heat = %v, want 4", h)
+	}
+	// Half-life persisted with the state, not taken from the argument.
+	if h := tr2.Heat("f", 110); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("restored decay = %v, want 2", h)
+	}
+}
+
+func TestLoadTrackerMissingFile(t *testing.T) {
+	tr, err := LoadTracker(filepath.Join(t.TempDir(), "none.json"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("fresh tracker not empty")
+	}
+}

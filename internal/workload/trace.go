@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Access is one read in a file-access trace: file Name touched at
+// virtual time Time (seconds).
+type Access struct {
+	Name string
+	Time float64
+}
+
+// TraceConfig describes a synthetic skewed access trace. Hot/cold
+// tiering experiments replay these against the store or cluster
+// simulators: a Zipf-skewed trace concentrates most reads on a few hot
+// files, the regime where double-replication codes beat RS.
+type TraceConfig struct {
+	Files    int     // number of distinct files, named file-000...
+	Accesses int     // trace length
+	ZipfS    float64 // Zipf exponent, > 1; larger is more skewed
+	Rate     float64 // mean accesses per second (Poisson arrivals)
+	Seed     int64
+}
+
+// Validate checks the config.
+func (c TraceConfig) Validate() error {
+	if c.Files <= 0 {
+		return fmt.Errorf("workload: trace needs files, got %d", c.Files)
+	}
+	if c.Accesses <= 0 {
+		return fmt.Errorf("workload: trace needs accesses, got %d", c.Accesses)
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("workload: zipf exponent must exceed 1, got %v", c.ZipfS)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("workload: rate must be positive, got %v", c.Rate)
+	}
+	return nil
+}
+
+// TraceFileName returns the canonical name of trace file i.
+func TraceFileName(i int) string { return fmt.Sprintf("file-%03d", i) }
+
+// ZipfTrace generates a deterministic Zipf-skewed access trace with
+// Poisson arrivals: file 0 is the hottest, file Files-1 the coldest.
+func ZipfTrace(cfg TraceConfig) ([]Access, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Files-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("workload: bad zipf parameters s=%v files=%d", cfg.ZipfS, cfg.Files)
+	}
+	trace := make([]Access, cfg.Accesses)
+	now := 0.0
+	for i := range trace {
+		now += rng.ExpFloat64() / cfg.Rate
+		trace[i] = Access{Name: TraceFileName(int(zipf.Uint64())), Time: now}
+	}
+	return trace, nil
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestZipfTraceShape(t *testing.T) {
+	cfg := TraceConfig{Files: 10, Accesses: 5000, ZipfS: 1.5, Rate: 10, Seed: 1}
+	trace, err := ZipfTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != cfg.Accesses {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	counts := map[string]int{}
+	last := 0.0
+	for _, a := range trace {
+		if a.Time <= last {
+			t.Fatalf("times not increasing: %v after %v", a.Time, last)
+		}
+		last = a.Time
+		counts[a.Name]++
+	}
+	// Zipf head dominates the tail.
+	if counts[TraceFileName(0)] <= 5*counts[TraceFileName(9)] {
+		t.Fatalf("no skew: head %d, tail %d", counts[TraceFileName(0)], counts[TraceFileName(9)])
+	}
+	// Poisson arrivals at rate 10 over 5000 accesses last ~500 s.
+	if last < 250 || last > 1000 {
+		t.Fatalf("trace spans %v s, want ~500", last)
+	}
+}
+
+func TestZipfTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{Files: 5, Accesses: 100, ZipfS: 2, Rate: 1, Seed: 42}
+	a, err := ZipfTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ZipfTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different traces")
+	}
+	cfg.Seed = 43
+	c, err := ZipfTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds, identical traces")
+	}
+}
+
+func TestZipfTraceValidation(t *testing.T) {
+	good := TraceConfig{Files: 2, Accesses: 1, ZipfS: 1.1, Rate: 1}
+	for _, mutate := range []func(*TraceConfig){
+		func(c *TraceConfig) { c.Files = 0 },
+		func(c *TraceConfig) { c.Accesses = 0 },
+		func(c *TraceConfig) { c.ZipfS = 1 },
+		func(c *TraceConfig) { c.Rate = 0 },
+	} {
+		cfg := good
+		mutate(&cfg)
+		if _, err := ZipfTrace(cfg); err == nil {
+			t.Fatalf("accepted bad config %+v", cfg)
+		}
+	}
+	if _, err := ZipfTrace(good); err != nil {
+		t.Fatal(err)
+	}
+}
