@@ -454,6 +454,94 @@ func BenchmarkOnlineRepairMR(b *testing.B) {
 	b.ReportMetric(job, "job-s")
 }
 
+// BenchmarkReadFile measures the steady-state whole-file read path
+// (pooled frames, per-stripe decode workers): bytes/s of file payload
+// and — with -benchmem — the proof that block payloads are recycled,
+// not re-allocated (only the returned file buffer remains).
+func BenchmarkReadFile(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	s, err := CreateStore(b.TempDir(), "pentagon", 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Put("f", data); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Get("f"); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBlockInto measures the steady-state healthy single-block
+// read into a caller buffer: zero block-payload allocations per op.
+func BenchmarkReadBlockInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	s, err := CreateStore(b.TempDir(), "pentagon", 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Put("f", data); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, s.BlockSize())
+	if _, err := s.ReadBlockInto(dst, "f", 0, 0); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadBlockInto(dst, "f", 0, i%9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBlockDegraded measures the partial-parity degraded read
+// (both replicas of the symbol dead), whose decode coefficients come
+// from the per-pattern plan cache after the first read.
+func BenchmarkReadBlockDegraded(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	s, err := CreateStore(b.TempDir(), "pentagon", 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Put("f", data); err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range s.Code().Placement().SymbolNodes[0] {
+		if err := s.KillNode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := make([]byte, s.BlockSize())
+	if _, err := s.ReadBlockInto(dst, "f", 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(dst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadBlockInto(dst, "f", 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Tiering subsystem ---
 
 // benchTranscode measures online transcode throughput between two

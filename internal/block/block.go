@@ -9,9 +9,10 @@
 package block
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"repro/internal/gf256"
 )
 
 // ID identifies a stored block: the file it belongs to, the stripe index
@@ -36,22 +37,13 @@ func Checksum(b []byte) uint32 {
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // XorInto sets dst[i] ^= src[i] for all i. The slices must have equal
-// length. The kernel works 8 bytes at a time through encoding/binary,
-// which the compiler lowers to single 64-bit loads and xors.
+// length. It delegates to the gf256 XOR kernel, which runs 32 bytes
+// per iteration under AVX2 and word-at-a-time elsewhere.
 func XorInto(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("block: XorInto length mismatch %d != %d", len(dst), len(src)))
 	}
-	n := len(dst)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		d := binary.LittleEndian.Uint64(dst[i:])
-		s := binary.LittleEndian.Uint64(src[i:])
-		binary.LittleEndian.PutUint64(dst[i:], d^s)
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
+	gf256.XorSlice(src, dst)
 }
 
 // Xor returns the XOR of all given blocks, which must be non-empty and

@@ -49,11 +49,18 @@ const (
 type Code struct {
 	hept      *polygon.Code // the K7 structure shared by both groups
 	placement core.Placement
-	parity    *gf256.Matrix // 4 x S parity-check matrix
+	parity    *gf256.Matrix    // 4 x S parity-check matrix
+	globalEnc *core.EncodePlan // compiled Q0/Q1 rows over the 40 data columns
+
+	// solves caches, per missing-symbol pattern, the u x 4 matrix
+	// mapping syndromes to the missing symbols, so degraded stripes of
+	// one failure pattern eliminate once instead of once per stripe.
+	solves core.MatrixCache
 }
 
 var (
 	_ core.Code          = (*Code)(nil)
+	_ core.IntoEncoder   = (*Code)(nil)
 	_ core.RepairPlanner = (*Code)(nil)
 	_ core.ReadPlanner   = (*Code)(nil)
 )
@@ -87,6 +94,13 @@ func New() *Code {
 	}
 	c.parity.Set(2, globalQ0, 1)
 	c.parity.Set(3, globalQ1, 1)
+
+	q := gf256.NewMatrix(2, K)
+	for i := 0; i < K; i++ {
+		q.Set(0, i, c.parity.At(2, i))
+		q.Set(1, i, c.parity.At(3, i))
+	}
+	c.globalEnc = core.CompileEncode(q)
 	return c
 }
 
@@ -163,18 +177,39 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 		return nil, err
 	}
 	out := make([][]byte, S)
-	copy(out, data)
-	out[localParityA] = block.Xor(data[:dataPerGroup]...)
-	out[localParityB] = block.Xor(data[dataPerGroup:]...)
-	q0 := make([]byte, size)
-	q1 := make([]byte, size)
-	for i, d := range data {
-		gf256.MulAddSlice(gf256.Exp(i), d, q0)
-		gf256.MulAddSlice(gf256.Exp(2*i), d, q1)
+	for s := K; s < S; s++ {
+		out[s] = make([]byte, size)
 	}
-	out[globalQ0] = q0
-	out[globalQ1] = q1
+	if err := c.EncodeInto(data, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// EncodeInto writes the two local XOR parities and, through the
+// compiled global-parity plan, the two GF(2^8) global parities into
+// out[40:], aliasing the data blocks into out[:40].
+func (c *Code) EncodeInto(data, out [][]byte) error {
+	if _, err := core.CheckEncodeInput(data, K); err != nil {
+		return err
+	}
+	if len(out) != S {
+		return fmt.Errorf("heptagon-local: EncodeInto needs %d output slots, got %d", S, len(out))
+	}
+	copy(out, data)
+	xorInto(out[localParityA], data[:dataPerGroup])
+	xorInto(out[localParityB], data[dataPerGroup:])
+	c.globalEnc.ApplyRow(0, data, out[globalQ0])
+	c.globalEnc.ApplyRow(1, data, out[globalQ1])
+	return nil
+}
+
+// xorInto overwrites dst with the XOR of the given blocks.
+func xorInto(dst []byte, blocks [][]byte) {
+	copy(dst, blocks[0])
+	for _, b := range blocks[1:] {
+		block.XorInto(dst, b)
+	}
 }
 
 // Decode reconstructs the 40 data blocks from any decodable erasure
@@ -216,16 +251,11 @@ func (c *Code) Decode(avail [][]byte) ([][]byte, error) {
 			}
 		}
 	}
-	cols := gf256.NewMatrix(4, len(missing))
-	for j := 0; j < 4; j++ {
-		for mi, g := range missing {
-			cols.Set(j, mi, c.parity.At(j, g))
-		}
-	}
-	solved, err := solve(cols, rhs, size)
+	w, err := c.solvePlan(missing)
 	if err != nil {
 		return nil, &core.ErasureError{Code: c.Name(), Missing: missing, Reason: err.Error()}
 	}
+	solved := w.MulVec(rhs)
 	full := append([][]byte(nil), avail...)
 	for mi, g := range missing {
 		full[g] = solved[mi]
@@ -233,18 +263,38 @@ func (c *Code) Decode(avail [][]byte) ([][]byte, error) {
 	return full[:K], nil
 }
 
-// solve performs Gaussian elimination on cols (4 x u, u <= 4) with
-// block-buffer right-hand sides, returning the u unknown symbol buffers.
-func solve(cols *gf256.Matrix, rhs [][]byte, size int) ([][]byte, error) {
-	rows, u := cols.Rows, cols.Cols
+// solvePlan returns the cached u x 4 solve matrix W for a missing
+// sequence: missing[i] = sum_j W[i][j] * syndrome_j. Compiling W runs
+// the Gaussian elimination once on bytes; applying it per stripe is a
+// flat matrix-vector product over the block buffers. W's rows follow
+// the order of missing, so the cache key preserves the sequence.
+func (c *Code) solvePlan(missing []int) (*gf256.Matrix, error) {
+	return c.solves.Get(core.SequenceKey(missing), func() (*gf256.Matrix, error) {
+		return c.compileSolve(missing)
+	})
+}
+
+// compileSolve eliminates [cols | I4] where cols is the 4 x u
+// parity-check submatrix of the missing symbols. The accumulated row
+// operations T satisfy (T*cols) reduced; the missing symbol for column
+// col is row pivotRow[col] of T applied to the syndromes.
+func (c *Code) compileSolve(missing []int) (*gf256.Matrix, error) {
+	u := len(missing)
+	cols := gf256.NewMatrix(4, u)
+	for j := 0; j < 4; j++ {
+		for mi, g := range missing {
+			cols.Set(j, mi, c.parity.At(j, g))
+		}
+	}
+	t := gf256.Identity(4)
 	pivotRow := make([]int, u)
 	for i := range pivotRow {
 		pivotRow[i] = -1
 	}
 	r := 0
-	for col := 0; col < u && r < rows; col++ {
+	for col := 0; col < u && r < 4; col++ {
 		pivot := -1
-		for rr := r; rr < rows; rr++ {
+		for rr := r; rr < 4; rr++ {
 			if cols.At(rr, col) != 0 {
 				pivot = rr
 				break
@@ -255,15 +305,14 @@ func solve(cols *gf256.Matrix, rhs [][]byte, size int) ([][]byte, error) {
 		}
 		if pivot != r {
 			swapMatrixRows(cols, pivot, r)
-			rhs[pivot], rhs[r] = rhs[r], rhs[pivot]
+			swapMatrixRows(t, pivot, r)
 		}
 		if p := cols.At(r, col); p != 1 {
 			inv := gf256.Inv(p)
-			scale := cols.Row(r)
-			gf256.MulSlice(inv, scale, scale)
-			gf256.MulSlice(inv, rhs[r], rhs[r])
+			gf256.MulSlice(inv, cols.Row(r), cols.Row(r))
+			gf256.MulSlice(inv, t.Row(r), t.Row(r))
 		}
-		for rr := 0; rr < rows; rr++ {
+		for rr := 0; rr < 4; rr++ {
 			if rr == r {
 				continue
 			}
@@ -272,20 +321,19 @@ func solve(cols *gf256.Matrix, rhs [][]byte, size int) ([][]byte, error) {
 				continue
 			}
 			gf256.MulAddSlice(f, cols.Row(r), cols.Row(rr))
-			gf256.MulAddSlice(f, rhs[r], rhs[rr])
+			gf256.MulAddSlice(f, t.Row(r), t.Row(rr))
 		}
 		pivotRow[col] = r
 		r++
 	}
-	out := make([][]byte, u)
+	w := gf256.NewMatrix(u, 4)
 	for col := 0; col < u; col++ {
 		if pivotRow[col] < 0 {
 			return nil, fmt.Errorf("erasure pattern not solvable: symbol column %d has no pivot", col)
 		}
-		out[col] = rhs[pivotRow[col]]
+		copy(w.Row(col), t.Row(pivotRow[col]))
 	}
-	_ = size
-	return out, nil
+	return w, nil
 }
 
 func swapMatrixRows(m *gf256.Matrix, a, b int) {

@@ -1,7 +1,9 @@
 package heptlocal
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -471,5 +473,53 @@ func assertNoSourceIn(t *testing.T, plan *core.RepairPlan, lo, hi int) {
 		if tr.From >= lo && tr.From < hi {
 			t.Fatalf("local repair read from node %d (range %d-%d)", tr.From, lo, hi)
 		}
+	}
+}
+
+// TestConcurrentDecodeDistinctPatterns decodes the same stripe under
+// every 3-node erasure pattern concurrently, all sharing the cached
+// syndrome-solve plans — the -race guard for the decode-plan cache.
+func TestConcurrentDecodeDistinctPatterns(t *testing.T) {
+	data, symbols := encoded(t, 78)
+	c := New()
+	var patterns [][]int
+	for a := 0; a < N; a++ {
+		for b := a + 1; b < N; b++ {
+			for d := b + 1; d < N; d++ {
+				patterns = append(patterns, []int{a, b, d})
+			}
+		}
+	}
+	// Keep the goroutine count bounded: shard the patterns.
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := w; pi < len(patterns); pi += workers {
+				nodes := patterns[pi]
+				nc := core.MaterializeNodes(c, symbols)
+				nc.Erase(nodes...)
+				got, err := c.Decode(nc.Available(S))
+				if err != nil {
+					errs <- fmt.Errorf("erasing nodes %v: %v", nodes, err)
+					return
+				}
+				for i := range data {
+					if !block.Equal(got[i], data[i]) {
+						errs <- fmt.Errorf("erasing nodes %v: block %d wrong", nodes, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

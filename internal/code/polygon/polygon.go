@@ -40,6 +40,7 @@ type Code struct {
 
 var (
 	_ core.Code          = (*Code)(nil)
+	_ core.IntoEncoder   = (*Code)(nil)
 	_ core.RepairPlanner = (*Code)(nil)
 	_ core.ReadPlanner   = (*Code)(nil)
 )
@@ -124,13 +125,34 @@ func (c *Code) EdgeSymbol(i, j int) int { return c.edgeID[i][j] }
 // Encode copies the data blocks onto edges 0..E-2 and computes the XOR
 // parity for the final edge.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
-	if _, err := core.CheckEncodeInput(data, c.DataSymbols()); err != nil {
+	size, err := core.CheckEncodeInput(data, c.DataSymbols())
+	if err != nil {
 		return nil, err
 	}
 	out := make([][]byte, c.e)
-	copy(out, data)
-	out[c.e-1] = block.Xor(data...)
+	out[c.e-1] = make([]byte, size)
+	if err := c.EncodeInto(data, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// EncodeInto computes the XOR parity into out[E-1], aliasing the data
+// blocks into out[:E-1].
+func (c *Code) EncodeInto(data, out [][]byte) error {
+	if _, err := core.CheckEncodeInput(data, c.DataSymbols()); err != nil {
+		return err
+	}
+	if len(out) != c.e {
+		return fmt.Errorf("%s: EncodeInto needs %d output slots, got %d", c.name, c.e, len(out))
+	}
+	copy(out, data)
+	parity := out[c.e-1]
+	copy(parity, data[0])
+	for _, d := range data[1:] {
+		block.XorInto(parity, d)
+	}
+	return nil
 }
 
 // Decode reconstructs the data blocks. At most one missing symbol is

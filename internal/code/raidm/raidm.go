@@ -26,6 +26,7 @@ type Code struct {
 
 var (
 	_ core.Code          = (*Code)(nil)
+	_ core.IntoEncoder   = (*Code)(nil)
 	_ core.RepairPlanner = (*Code)(nil)
 	_ core.ReadPlanner   = (*Code)(nil)
 )
@@ -72,13 +73,34 @@ func (c *Code) FaultTolerance() int { return 3 }
 
 // Encode appends the XOR parity to the data blocks.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
-	if _, err := core.CheckEncodeInput(data, c.m); err != nil {
+	size, err := core.CheckEncodeInput(data, c.m)
+	if err != nil {
 		return nil, err
 	}
 	out := make([][]byte, c.m+1)
-	copy(out, data)
-	out[c.m] = block.Xor(data...)
+	out[c.m] = make([]byte, size)
+	if err := c.EncodeInto(data, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// EncodeInto computes the XOR parity into out[m], aliasing the data
+// blocks into out[:m].
+func (c *Code) EncodeInto(data, out [][]byte) error {
+	if _, err := core.CheckEncodeInput(data, c.m); err != nil {
+		return err
+	}
+	if len(out) != c.m+1 {
+		return fmt.Errorf("raidm: EncodeInto needs %d output slots, got %d", c.m+1, len(out))
+	}
+	copy(out, data)
+	parity := out[c.m]
+	copy(parity, data[0])
+	for _, d := range data[1:] {
+		block.XorInto(parity, d)
+	}
+	return nil
 }
 
 // Decode reconstructs the data from the surviving symbols: at most one

@@ -21,6 +21,7 @@ type Code struct {
 
 var (
 	_ core.Code          = (*Code)(nil)
+	_ core.IntoEncoder   = (*Code)(nil)
 	_ core.RepairPlanner = (*Code)(nil)
 	_ core.ReadPlanner   = (*Code)(nil)
 )
@@ -69,6 +70,19 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 		return nil, err
 	}
 	return [][]byte{data[0]}, nil
+}
+
+// EncodeInto aliases the single data block into out[0]; replication has
+// no parity to compute.
+func (c *Code) EncodeInto(data, out [][]byte) error {
+	if _, err := core.CheckEncodeInput(data, 1); err != nil {
+		return err
+	}
+	if len(out) != 1 {
+		return fmt.Errorf("replication: EncodeInto needs 1 output slot, got %d", len(out))
+	}
+	out[0] = data[0]
+	return nil
 }
 
 // Decode returns the block if any replica survives.

@@ -21,12 +21,19 @@ import (
 // Code is a systematic (n, k) Reed-Solomon code.
 type Code struct {
 	n, k      int
-	enc       *gf256.Matrix // n x k systematic encoding matrix
+	enc       *gf256.Matrix    // n x k systematic encoding matrix
+	parity    *core.EncodePlan // compiled parity rows k..n-1 of enc
 	placement core.Placement
+
+	// inverses caches the inverted k x k decode submatrix per
+	// survivor-row pattern, shared by Decode, PlanRepair and PlanRead:
+	// a fixed failure pattern inverts once, not once per stripe.
+	inverses core.MatrixCache
 }
 
 var (
 	_ core.Code          = (*Code)(nil)
+	_ core.IntoEncoder   = (*Code)(nil)
 	_ core.RepairPlanner = (*Code)(nil)
 	_ core.ReadPlanner   = (*Code)(nil)
 )
@@ -51,8 +58,13 @@ func New(n, k int) *Code {
 	for s := range symbolNodes {
 		symbolNodes[s] = []int{s}
 	}
+	parityRows := make([]int, 0, n-k)
+	for r := k; r < n; r++ {
+		parityRows = append(parityRows, r)
+	}
 	return &Code{
 		n: n, k: k, enc: enc,
+		parity:    core.CompileEncode(enc.SubMatrix(parityRows)),
 		placement: core.PlacementFromSymbolNodes(symbolNodes, n),
 	}
 }
@@ -83,19 +95,32 @@ func (c *Code) FaultTolerance() int { return c.n - c.k }
 // Encode produces the n coded symbols (systematic: the first k are the
 // data).
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
-	if _, err := core.CheckEncodeInput(data, c.k); err != nil {
+	size, err := core.CheckEncodeInput(data, c.k)
+	if err != nil {
 		return nil, err
 	}
 	out := make([][]byte, c.n)
-	copy(out, data)
 	for r := c.k; r < c.n; r++ {
-		buf := make([]byte, len(data[0]))
-		for j := 0; j < c.k; j++ {
-			gf256.MulAddSlice(c.enc.At(r, j), data[j], buf)
-		}
-		out[r] = buf
+		out[r] = make([]byte, size)
+	}
+	if err := c.EncodeInto(data, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// EncodeInto writes the n-k parity symbols into out[k:] through the
+// compiled encode plan, aliasing the data blocks into out[:k].
+func (c *Code) EncodeInto(data, out [][]byte) error {
+	if _, err := core.CheckEncodeInput(data, c.k); err != nil {
+		return err
+	}
+	if len(out) != c.n {
+		return fmt.Errorf("rs: EncodeInto needs %d output slots, got %d", c.n, len(out))
+	}
+	copy(out, data)
+	c.parity.Apply(data, out[c.k:])
+	return nil
 }
 
 // Decode reconstructs the data from any k surviving symbols.
@@ -131,12 +156,24 @@ func (c *Code) Decode(avail [][]byte) ([][]byte, error) {
 	if systematic {
 		return append([][]byte(nil), avail[:c.k]...), nil
 	}
-	sub := c.enc.SubMatrix(rows)
-	inv, err := sub.Invert()
+	inv, err := c.invertRows(rows)
 	if err != nil {
-		return nil, fmt.Errorf("rs: decode matrix singular: %w", err)
+		return nil, err
 	}
 	return inv.MulVec(bufs), nil
+}
+
+// invertRows returns the inverse of the k x k submatrix of the encoding
+// matrix formed by the given survivor rows, cached per row sequence
+// (the inverse is row-order-sensitive, so the key must be too).
+func (c *Code) invertRows(rows []int) (*gf256.Matrix, error) {
+	return c.inverses.Get(core.SequenceKey(rows), func() (*gf256.Matrix, error) {
+		inv, err := c.enc.SubMatrix(rows).Invert()
+		if err != nil {
+			return nil, fmt.Errorf("rs: decode matrix singular: %w", err)
+		}
+		return inv, nil
+	})
 }
 
 func missingOf(avail [][]byte) []int {
@@ -151,9 +188,10 @@ func missingOf(avail [][]byte) []int {
 
 // decodeCoeffs returns, for a target symbol, coefficients over the
 // given surviving symbol set such that target = sum coeff_i * rows_i.
+// The underlying inversion is shared with Decode through the per-
+// pattern cache.
 func (c *Code) decodeCoeffs(target int, rows []int) ([]byte, error) {
-	sub := c.enc.SubMatrix(rows)
-	inv, err := sub.Invert()
+	inv, err := c.invertRows(rows)
 	if err != nil {
 		return nil, fmt.Errorf("rs: helper matrix singular")
 	}

@@ -1,7 +1,9 @@
 package rs
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -257,5 +259,61 @@ func TestRSVsPentagonRepairBill(t *testing.T) {
 	perBlockRS := float64(rsPlan.Bandwidth()) / 1.0
 	if perBlockRS < 9 {
 		t.Fatalf("RS repair bill %v blocks per block, want ~10", perBlockRS)
+	}
+}
+
+// TestConcurrentDecodeDistinctPatterns decodes one encoded stripe set
+// under many different erasure patterns from many goroutines at once.
+// Every pattern shares the code's per-pattern inverse cache, so this is
+// the correctness (and, under -race, the safety) test for the cached
+// decode plans.
+func TestConcurrentDecodeDistinctPatterns(t *testing.T) {
+	c := New(9, 6)
+	data, symbols := encoded(t, c, 77)
+	// All 2-of-9 erasure patterns (within tolerance 3).
+	var patterns [][]int
+	for a := 0; a < c.Symbols(); a++ {
+		for b := a + 1; b < c.Symbols(); b++ {
+			patterns = append(patterns, []int{a, b})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(patterns))
+	for _, pat := range patterns {
+		pat := pat
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				avail := append([][]byte(nil), symbols...)
+				for _, s := range pat {
+					avail[s] = nil
+				}
+				got, err := c.Decode(avail)
+				if err != nil {
+					errs <- fmt.Errorf("pattern %v: %v", pat, err)
+					return
+				}
+				for i := range data {
+					if !block.Equal(got[i], data[i]) {
+						errs <- fmt.Errorf("pattern %v: data block %d wrong", pat, i)
+						return
+					}
+				}
+				// Exercise the shared cache from the planner side too.
+				if _, err := c.PlanRead(0, pat, core.OffCluster); err != nil {
+					errs <- fmt.Errorf("pattern %v: PlanRead: %v", pat, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.inverses.Len() == 0 {
+		t.Fatal("decode-plan cache never populated")
 	}
 }

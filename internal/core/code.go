@@ -49,6 +49,46 @@ type Code interface {
 	Decode(avail [][]byte) ([][]byte, error)
 }
 
+// IntoEncoder is implemented by codes whose Encode can write parity
+// symbols into caller-provided buffers — the zero-allocation entry
+// point of the pooled stripe pipeline. out must have Symbols() entries:
+// EncodeInto sets the first DataSymbols() entries to the data blocks
+// themselves (systematic codes alias, never copy) and fully overwrites
+// the remaining entries, which must be non-nil buffers of the data
+// block size that do not alias the data.
+type IntoEncoder interface {
+	EncodeInto(data, out [][]byte) error
+}
+
+// EncodeWith encodes a stripe through EncodeInto when the code supports
+// it, drawing parity buffers from pool; otherwise it falls back to
+// Encode. The returned release function recycles the pooled parity
+// buffers (it is a no-op after the fallback) — call it once the symbol
+// buffers are no longer referenced.
+func EncodeWith(c Code, pool *BlockPool, data [][]byte) (symbols [][]byte, release func(), err error) {
+	ie, ok := c.(IntoEncoder)
+	if !ok || pool == nil {
+		out, err := c.Encode(data)
+		return out, func() {}, err
+	}
+	k, n := c.DataSymbols(), c.Symbols()
+	out := make([][]byte, n)
+	for i := k; i < n; i++ {
+		out[i] = pool.Get()
+	}
+	if err := ie.EncodeInto(data, out); err != nil {
+		for i := k; i < n; i++ {
+			pool.Put(out[i])
+		}
+		return nil, func() {}, err
+	}
+	return out, func() {
+		for i := k; i < n; i++ {
+			pool.Put(out[i])
+		}
+	}, nil
+}
+
 // RepairPlanner is implemented by codes that can plan the exact network
 // transfers needed to rebuild failed nodes, including repair-by-transfer
 // copies and partial-parity aggregation.

@@ -4,24 +4,20 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // EncodeFileConcurrent is EncodeFile with stripes encoded by a worker
 // pool — the encoding-duration lever for RaidNode-style bulk encoding
 // jobs, where stripes are independent by construction. workers <= 0
-// uses GOMAXPROCS. The result is identical to EncodeFile.
+// uses GOMAXPROCS. The result is identical to EncodeFile, including
+// its aliasing: data symbols of interior stripes point into data.
 func (st *Striper) EncodeFileConcurrent(data []byte, workers int) ([]EncodedStripe, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	k := st.Code.DataSymbols()
 	count := st.StripeCount(len(data))
 	if count == 0 {
 		return nil, nil
 	}
-	if workers > count {
-		workers = count
-	}
+	workers = clampWorkers(workers, count)
 	stripes := make([]EncodedStripe, count)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -31,14 +27,7 @@ func (st *Striper) EncodeFileConcurrent(data []byte, workers int) ([]EncodedStri
 		go func() {
 			defer wg.Done()
 			for i := w; i < count; i += workers {
-				blocks := make([][]byte, k)
-				for j := 0; j < k; j++ {
-					blocks[j] = make([]byte, st.BlockSize)
-					off := (i*k + j) * st.BlockSize
-					if off < len(data) {
-						copy(blocks[j], data[off:])
-					}
-				}
+				blocks, _ := st.stripeBlocks(data, i, nil)
 				symbols, err := st.Code.Encode(blocks)
 				if err != nil {
 					errs[w] = fmt.Errorf("core: encoding stripe %d: %w", i, err)
@@ -55,4 +44,75 @@ func (st *Striper) EncodeFileConcurrent(data []byte, workers int) ([]EncodedStri
 		}
 	}
 	return stripes, nil
+}
+
+// EncodeStream encodes data stripe by stripe through a bounded worker
+// pool and hands each encoded stripe to emit exactly once — the
+// zero-allocation pipeline under bulk writes and transcodes, where one
+// worker encodes stripe N while another is still writing stripe N-1.
+//
+// Stripes reach emit out of order (EncodedStripe.Index identifies
+// them), and emit is called concurrently from the workers, so it must
+// be safe for concurrent use. Symbol buffers are drawn from pool
+// (created at the striper's block size when nil) and recycled as soon
+// as emit returns, so emit must not retain Symbols; data symbols of
+// interior stripes alias data. A non-nil error from emit or any encode
+// cancels the stream and is returned after the workers drain.
+func (st *Striper) EncodeStream(data []byte, workers int, pool *BlockPool, emit func(EncodedStripe) error) error {
+	count := st.StripeCount(len(data))
+	if count == 0 {
+		return nil
+	}
+	if pool == nil {
+		pool = NewBlockPool(st.BlockSize)
+	} else if pool.Size() != st.BlockSize {
+		return fmt.Errorf("core: encode stream pool size %d != block size %d", pool.Size(), st.BlockSize)
+	}
+	workers = clampWorkers(workers, count)
+
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < count && !failed.Load(); i += workers {
+				blocks, pooled := st.stripeBlocks(data, i, pool)
+				symbols, release, err := EncodeWith(st.Code, pool, blocks)
+				if err != nil {
+					err = fmt.Errorf("core: encoding stripe %d: %w", i, err)
+				} else {
+					err = emit(EncodedStripe{Index: i, Symbols: symbols})
+					release()
+				}
+				for _, b := range pooled {
+					pool.Put(b)
+				}
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	return workers
 }

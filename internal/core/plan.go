@@ -132,7 +132,23 @@ func (nc NodeContents) Available(symbols int) [][]byte {
 // plan deadlocks (a transfer's source never obtains a needed symbol) or
 // is otherwise invalid. blockSize is the stripe's block size.
 func ExecuteRepair(nc NodeContents, plan *RepairPlan, blockSize int) error {
+	return ExecuteRepairPooled(nc, plan, blockSize, nil)
+}
+
+// ExecuteRepairPooled is ExecuteRepair drawing the plan's intermediate
+// transfer payloads from pool (which must match blockSize), recycling
+// them before returning — the allocation-free path for bulk repairs
+// that execute one plan per stripe. Recovered symbols installed into nc
+// are always freshly allocated; only the transient payloads are pooled.
+func ExecuteRepairPooled(nc NodeContents, plan *RepairPlan, blockSize int, pool *BlockPool) error {
 	payloads := make([][]byte, len(plan.Transfers))
+	if pool != nil {
+		defer func() {
+			for _, p := range payloads {
+				pool.Put(p)
+			}
+		}()
+	}
 	doneT := make([]bool, len(plan.Transfers))
 	doneR := make([]bool, len(plan.Recoveries))
 	remaining := len(plan.Transfers) + len(plan.Recoveries)
@@ -143,7 +159,7 @@ func ExecuteRepair(nc NodeContents, plan *RepairPlan, blockSize int) error {
 			if doneT[i] || !sourceReady(nc, tr) {
 				continue
 			}
-			payloads[i] = evalTerms(nc[tr.From], tr.Terms, blockSize)
+			payloads[i] = evalTermsPooled(nc[tr.From], tr.Terms, blockSize, pool)
 			doneT[i] = true
 			remaining--
 			progress = true
@@ -252,7 +268,16 @@ func sourcesDelivered(doneT []bool, sources []int) bool {
 }
 
 func evalTerms(node map[int][]byte, terms []Term, blockSize int) []byte {
-	out := make([]byte, blockSize)
+	return evalTermsPooled(node, terms, blockSize, nil)
+}
+
+func evalTermsPooled(node map[int][]byte, terms []Term, blockSize int, pool *BlockPool) []byte {
+	var out []byte
+	if pool != nil {
+		out = pool.GetZero()
+	} else {
+		out = make([]byte, blockSize)
+	}
 	for _, term := range terms {
 		gf256.MulAddSlice(term.Coeff, node[term.Symbol], out)
 	}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockPool recycles fixed-size block buffers across the encode,
+// decode, read and transcode hot paths. Every buffer handed out has
+// exactly the pool's size; Put rejects anything else, so a pooled
+// buffer can never smuggle a stale length back into the data plane.
+//
+// The zero-allocation stripe pipeline threads one pool per block size
+// through the striper, the on-disk store and the transcoder: steady
+// state, block payloads are recycled instead of re-allocated.
+type BlockPool struct {
+	size int
+	pool sync.Pool
+}
+
+// NewBlockPool returns a pool of size-byte blocks.
+func NewBlockPool(size int) *BlockPool {
+	if size <= 0 {
+		panic(fmt.Sprintf("core: invalid block pool size %d", size))
+	}
+	p := &BlockPool{size: size}
+	p.pool.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return p
+}
+
+// Size returns the pool's block size.
+func (p *BlockPool) Size() int { return p.size }
+
+// Get returns a size-byte buffer with undefined contents. Use GetZero
+// when the caller accumulates into the buffer.
+func (p *BlockPool) Get() []byte {
+	return *p.pool.Get().(*[]byte)
+}
+
+// GetZero returns a zeroed size-byte buffer.
+func (p *BlockPool) GetZero() []byte {
+	b := p.Get()
+	clear(b)
+	return b
+}
+
+// Put recycles a buffer previously returned by Get or GetZero. Buffers
+// of the wrong size (or nil) are dropped, so callers may pass through
+// blocks that alias caller-owned memory of other lengths without
+// corrupting the pool — but must never Put a buffer that is still
+// referenced elsewhere.
+func (p *BlockPool) Put(b []byte) {
+	if len(b) != p.size {
+		return
+	}
+	p.pool.Put(&b)
+}

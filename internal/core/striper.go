@@ -39,22 +39,45 @@ type EncodedStripe struct {
 	Symbols [][]byte
 }
 
+// stripeBlocks assembles stripe i's k data blocks. Blocks fully inside
+// data alias it directly (no copy, no allocation); only blocks that
+// overhang the file end are materialized — from pool when non-nil —
+// and zero-padded. It returns the blocks plus the pooled buffers to
+// recycle when the stripe is done.
+func (st *Striper) stripeBlocks(data []byte, i int, pool *BlockPool) (blocks, pooled [][]byte) {
+	k := st.Code.DataSymbols()
+	blocks = make([][]byte, k)
+	for j := 0; j < k; j++ {
+		off := (i*k + j) * st.BlockSize
+		if off+st.BlockSize <= len(data) {
+			blocks[j] = data[off : off+st.BlockSize]
+			continue
+		}
+		var b []byte
+		if pool != nil {
+			b = pool.GetZero()
+		} else {
+			b = make([]byte, st.BlockSize)
+		}
+		if off < len(data) {
+			copy(b, data[off:])
+		}
+		blocks[j] = b
+		pooled = append(pooled, b)
+	}
+	return blocks, pooled
+}
+
 // EncodeFile splits data into stripes and encodes each, returning the
 // stripes in order. The file length must be recorded by the caller to
-// strip padding on reconstruction.
+// strip padding on reconstruction. Data symbols of interior stripes
+// alias data — callers that mutate data before consuming the stripes
+// must copy first.
 func (st *Striper) EncodeFile(data []byte) ([]EncodedStripe, error) {
-	k := st.Code.DataSymbols()
 	count := st.StripeCount(len(data))
 	stripes := make([]EncodedStripe, 0, count)
 	for i := 0; i < count; i++ {
-		blocks := make([][]byte, k)
-		for j := 0; j < k; j++ {
-			blocks[j] = make([]byte, st.BlockSize)
-			off := (i*k + j) * st.BlockSize
-			if off < len(data) {
-				copy(blocks[j], data[off:])
-			}
-		}
+		blocks, _ := st.stripeBlocks(data, i, nil)
 		symbols, err := st.Code.Encode(blocks)
 		if err != nil {
 			return nil, fmt.Errorf("core: encoding stripe %d: %w", i, err)
@@ -64,6 +87,27 @@ func (st *Striper) EncodeFile(data []byte) ([]EncodedStripe, error) {
 	return stripes, nil
 }
 
+// DecodeStripeAppend decodes one stripe's symbol vector and appends its
+// data bytes to out, stopping at fileLen total bytes (out may already
+// hold earlier stripes). It is the per-stripe core of DecodeFile, split
+// out so pooled pipelines can decode a stripe, drain it, and recycle
+// the symbol buffers before loading the next.
+func (st *Striper) DecodeStripeAppend(out []byte, symbols [][]byte, fileLen int) ([]byte, error) {
+	data, err := st.Code.Decode(symbols)
+	if err != nil {
+		return out, err
+	}
+	k := st.Code.DataSymbols()
+	for j := 0; j < k && len(out) < fileLen; j++ {
+		need := fileLen - len(out)
+		if need > st.BlockSize {
+			need = st.BlockSize
+		}
+		out = append(out, data[j][:need]...)
+	}
+	return out, nil
+}
+
 // DecodeFile reconstructs the original file of length fileLen from
 // (possibly degraded) stripes. Each stripe's symbol vector may have nil
 // entries for erased symbols, as long as the pattern is decodable.
@@ -71,22 +115,15 @@ func (st *Striper) DecodeFile(stripes []EncodedStripe, fileLen int) ([]byte, err
 	if want := st.StripeCount(fileLen); len(stripes) != want {
 		return nil, fmt.Errorf("core: have %d stripes, want %d for %d bytes", len(stripes), want, fileLen)
 	}
-	k := st.Code.DataSymbols()
 	out := make([]byte, 0, fileLen)
 	for i, s := range stripes {
 		if s.Index != i {
 			return nil, fmt.Errorf("core: stripe %d out of order (index %d)", i, s.Index)
 		}
-		data, err := st.Code.Decode(s.Symbols)
+		var err error
+		out, err = st.DecodeStripeAppend(out, s.Symbols, fileLen)
 		if err != nil {
 			return nil, fmt.Errorf("core: decoding stripe %d: %w", i, err)
-		}
-		for j := 0; j < k && len(out) < fileLen; j++ {
-			need := fileLen - len(out)
-			if need > st.BlockSize {
-				need = st.BlockSize
-			}
-			out = append(out, data[j][:need]...)
 		}
 	}
 	return out, nil

@@ -1,0 +1,58 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The acceptance metric for the split-table kernels: MulAddSlice on
+// 64 KiB blocks versus the scalar oracle. The same block size the
+// hdfsraid benchmarks use.
+const benchBlock = 64 << 10
+
+func benchSrcDst(b *testing.B) (src, dst []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	src = make([]byte, benchBlock)
+	dst = make([]byte, benchBlock)
+	rng.Read(src)
+	rng.Read(dst)
+	b.SetBytes(benchBlock)
+	b.ResetTimer()
+	return src, dst
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8E, src, dst)
+	}
+}
+
+func BenchmarkMulAddSliceScalar(b *testing.B) {
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		MulAddSliceScalar(0x8E, src, dst)
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x8E, src, dst)
+	}
+}
+
+func BenchmarkMulSliceScalar(b *testing.B) {
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		MulSliceScalar(0x8E, src, dst)
+	}
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}

@@ -39,6 +39,7 @@ func init() {
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
 	}
+	initSplitTables() // kernels.go; depends on the tables above
 }
 
 // Add returns the sum of a and b in GF(2^8). Addition is XOR and is its
@@ -107,10 +108,50 @@ func Pow(a byte, n int) byte {
 }
 
 // MulSlice sets dst[i] = c * src[i] for all i. The slices must have equal
-// length. c == 0 zeroes dst; c == 1 copies src.
+// length. c == 0 zeroes dst; c == 1 copies src. The general case runs
+// the branch-free split-table kernel (see kernels.go); MulSliceScalar is
+// the reference implementation.
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		MulSliceTab(&mulTableLow[c], &mulTableHigh[c], src, dst)
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i — the fused
+// multiply-accumulate used by matrix-vector encoding. The slices must
+// have equal length. c == 1 is a word-wide XOR; the general case runs
+// the branch-free split-table kernel. MulAddSliceScalar is the
+// reference implementation.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		XorSlice(src, dst)
+	default:
+		MulAddSliceTab(&mulTableLow[c], &mulTableHigh[c], src, dst)
+	}
+}
+
+// MulSliceScalar is the original log/exp-table MulSlice, kept as the
+// correctness oracle for the split-table kernels: two dependent lookups
+// and a zero-test branch per byte.
+func MulSliceScalar(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf256: MulSliceScalar length mismatch %d != %d", len(src), len(dst)))
 	}
 	switch c {
 	case 0:
@@ -131,12 +172,11 @@ func MulSlice(c byte, src, dst []byte) {
 	}
 }
 
-// MulAddSlice sets dst[i] ^= c * src[i] for all i — the fused
-// multiply-accumulate used by matrix-vector encoding. The slices must
-// have equal length.
-func MulAddSlice(c byte, src, dst []byte) {
+// MulAddSliceScalar is the original log/exp-table MulAddSlice, kept as
+// the correctness oracle for the split-table kernels.
+func MulAddSliceScalar(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
+		panic(fmt.Sprintf("gf256: MulAddSliceScalar length mismatch %d != %d", len(src), len(dst)))
 	}
 	switch c {
 	case 0:

@@ -1,0 +1,75 @@
+//go:build amd64
+
+package gf256
+
+// AVX2 dispatch. The VPSHUFB kernels in kernels_amd64.s look up 32
+// low-nibble and 32 high-nibble products per shuffle pair — the vector
+// form of the split tables. Detection follows the Intel manual: the OS
+// must have enabled YMM state (OSXSAVE + XCR0) and the CPU must report
+// AVX2 on CPUID leaf 7.
+
+// useAVX2 gates the assembly kernels. It is a variable, not a
+// constant, so tests can force the generic path.
+var useAVX2 = detectAVX2()
+
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func mulVectorAVX2(lo, hi *[16]byte, src, dst []byte, n int)
+
+//go:noescape
+func mulAddVectorAVX2(lo, hi *[16]byte, src, dst []byte, n int)
+
+//go:noescape
+func xorVectorAVX2(src, dst []byte, n int)
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+func archMulSliceTab(lo, hi *[16]byte, src, dst []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !useAVX2 {
+		return 0
+	}
+	mulVectorAVX2(lo, hi, src, dst, n)
+	return n
+}
+
+func archMulAddSliceTab(lo, hi *[16]byte, src, dst []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !useAVX2 {
+		return 0
+	}
+	mulAddVectorAVX2(lo, hi, src, dst, n)
+	return n
+}
+
+func archXorSlice(src, dst []byte) int {
+	n := len(src) &^ 31
+	if n == 0 || !useAVX2 {
+		return 0
+	}
+	xorVectorAVX2(src, dst, n)
+	return n
+}

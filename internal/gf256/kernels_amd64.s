@@ -1,0 +1,105 @@
+#include "textflag.h"
+
+// CPUID with explicit leaf/subleaf, for AVX2 feature detection.
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// XGETBV with XCR0, to check the OS enabled YMM state.
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulVectorAVX2(lo, hi *[16]byte, src, dst []byte, n int)
+// dst[i] = lo[src[i]&0x0F] ^ hi[src[i]>>4] for i < n; n is a positive
+// multiple of 32. The two nibble tables are broadcast into both YMM
+// lanes once; each iteration resolves 32 products with two VPSHUFBs.
+TEXT ·mulVectorAVX2(SB), NOSPLIT, $0-72
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src_base+16(FP), SI
+	MOVQ dst_base+40(FP), DI
+	MOVQ n+64(FP), CX
+	VBROADCASTI128 (AX), Y0    // low-nibble products, both lanes
+	VBROADCASTI128 (BX), Y1    // high-nibble products, both lanes
+	MOVQ $15, AX
+	MOVQ AX, X2
+	VPBROADCASTB X2, Y2        // 0x0F in every byte
+
+mulloop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3         // low nibbles
+	VPAND   Y2, Y4, Y4         // high nibbles
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulloop
+
+	VZEROUPPER
+	RET
+
+// func mulAddVectorAVX2(lo, hi *[16]byte, src, dst []byte, n int)
+// dst[i] ^= lo[src[i]&0x0F] ^ hi[src[i]>>4] for i < n; n is a positive
+// multiple of 32.
+TEXT ·mulAddVectorAVX2(SB), NOSPLIT, $0-72
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src_base+16(FP), SI
+	MOVQ dst_base+40(FP), DI
+	MOVQ n+64(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 (BX), Y1
+	MOVQ $15, AX
+	MOVQ AX, X2
+	VPBROADCASTB X2, Y2
+
+muladdloop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VPXOR   (DI), Y3, Y3       // accumulate into dst
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     muladdloop
+
+	VZEROUPPER
+	RET
+
+// func xorVectorAVX2(src, dst []byte, n int)
+// dst[i] ^= src[i] for i < n; n is a positive multiple of 32.
+TEXT ·xorVectorAVX2(SB), NOSPLIT, $0-56
+	MOVQ src_base+0(FP), SI
+	MOVQ dst_base+24(FP), DI
+	MOVQ n+48(FP), CX
+
+xorloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     xorloop
+
+	VZEROUPPER
+	RET

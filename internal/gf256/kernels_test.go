@@ -1,0 +1,202 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// kernelLengths covers the unrolled body, the tail loop, and the empty
+// and single-byte edge cases.
+var kernelLengths = []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000, 4096, 4097}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestMulSliceMatchesScalar pits the split-table MulSlice against the
+// scalar oracle for every coefficient over awkward lengths.
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLengths {
+		src := randBytes(rng, n)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		for c := 0; c < 256; c++ {
+			MulSlice(byte(c), src, got)
+			MulSliceScalar(byte(c), src, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice(c=%d, len=%d) diverges from scalar", c, n)
+			}
+		}
+	}
+}
+
+// TestMulAddSliceMatchesScalar does the same for the accumulate kernel,
+// with a non-zero destination so the XOR accumulation is exercised.
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range kernelLengths {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		for c := 0; c < 256; c++ {
+			copy(got, base)
+			copy(want, base)
+			MulAddSlice(byte(c), src, got)
+			MulAddSliceScalar(byte(c), src, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlice(c=%d, len=%d) diverges from scalar", c, n)
+			}
+		}
+	}
+}
+
+// TestKernelsRandomized is a quick-check over random (coefficient,
+// length, contents) triples, catching anything the fixed grids miss.
+func TestKernelsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(300)
+		c := byte(rng.Intn(256))
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+
+		got, want := make([]byte, n), make([]byte, n)
+		MulSlice(c, src, got)
+		MulSliceScalar(c, src, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: MulSlice(c=%d, len=%d) diverges", iter, c, n)
+		}
+		copy(got, base)
+		copy(want, base)
+		MulAddSlice(c, src, got)
+		MulAddSliceScalar(c, src, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: MulAddSlice(c=%d, len=%d) diverges", iter, c, n)
+		}
+	}
+}
+
+// TestGenericKernelsMatchScalar exercises the portable unrolled loops
+// directly, so they stay correct even on machines where MulSlice and
+// MulAddSlice dispatch to the vector kernels.
+func TestGenericKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range kernelLengths {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		for _, c := range []byte{2, 3, 0x1D, 0x8E, 0xFF} {
+			lo, hi := Tables(c)
+			mulSliceTabGeneric(lo, hi, src, got)
+			MulSliceScalar(c, src, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("generic MulSliceTab(c=%d, len=%d) diverges", c, n)
+			}
+			copy(got, base)
+			copy(want, base)
+			mulAddSliceTabGeneric(lo, hi, src, got)
+			MulAddSliceScalar(c, src, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("generic MulAddSliceTab(c=%d, len=%d) diverges", c, n)
+			}
+		}
+		copy(got, base)
+		copy(want, base)
+		xorSliceGeneric(src, got)
+		for i := range want {
+			want[i] ^= src[i]
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("generic XorSlice(len=%d) diverges", n)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		lo, hi := Tables(byte(c))
+		for s := 0; s < 256; s++ {
+			if got, want := lo[s&0x0F]^hi[s>>4], Mul(byte(c), byte(s)); got != want {
+				t.Fatalf("Tables(%d): %d*%d = %d, want %d", c, c, s, got, want)
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range kernelLengths {
+		src := randBytes(rng, n)
+		dst := randBytes(rng, n)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		XorSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XorSlice(len=%d) wrong", n)
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MulAddSlice":    func() { MulAddSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"XorSlice":       func() { XorSlice(make([]byte, 3), make([]byte, 4)) },
+		"MulSliceTab":    func() { lo, hi := Tables(2); MulSliceTab(lo, hi, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSliceTab": func() { lo, hi := Tables(2); MulAddSliceTab(lo, hi, make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s length mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// FuzzMulAddSliceVsScalar fuzzes the accumulate kernel against the
+// scalar oracle on arbitrary coefficients and buffer contents.
+func FuzzMulAddSliceVsScalar(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), []byte{0x42})
+	f.Add(byte(2), []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(byte(0x1D), []byte("0123456789abcdef0"))
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		got := make([]byte, len(src))
+		want := make([]byte, len(src))
+		for i := range src {
+			got[i] = byte(i) * 7
+			want[i] = byte(i) * 7
+		}
+		MulAddSlice(c, src, got)
+		MulAddSliceScalar(c, src, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulAddSlice(c=%d, len=%d) diverges from scalar", c, len(src))
+		}
+	})
+}
+
+// FuzzMulSliceVsScalar fuzzes the overwrite kernel the same way.
+func FuzzMulSliceVsScalar(f *testing.F) {
+	f.Add(byte(0), []byte{})
+	f.Add(byte(3), []byte{0xFF, 0, 1})
+	f.Add(byte(0x8E), []byte("split-table kernels"))
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		got := make([]byte, len(src))
+		want := make([]byte, len(src))
+		MulSlice(c, src, got)
+		MulSliceScalar(c, src, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulSlice(c=%d, len=%d) diverges from scalar", c, len(src))
+		}
+	})
+}

@@ -112,11 +112,43 @@ func (m *Matrix) MulVec(in [][]byte) [][]byte {
 	out := make([][]byte, m.Rows)
 	for i := range out {
 		out[i] = make([]byte, size)
+	}
+	m.MulVecInto(in, out)
+	return out
+}
+
+// MulVecInto is MulVec into caller-provided buffers: out[i] receives
+// sum_j m[i][j]*in[j]. out must hold m.Rows buffers of the input block
+// size; they are fully overwritten (no pre-zeroing needed) and must not
+// alias the inputs. It is the zero-allocation encoding kernel behind
+// pooled stripe pipelines.
+func (m *Matrix) MulVecInto(in, out [][]byte) {
+	if len(in) != m.Cols {
+		panic(fmt.Sprintf("gf256: MulVecInto needs %d inputs, got %d", m.Cols, len(in)))
+	}
+	if len(out) != m.Rows {
+		panic(fmt.Sprintf("gf256: MulVecInto needs %d outputs, got %d", m.Rows, len(out)))
+	}
+	for i := range out {
+		started := false
 		for j := 0; j < m.Cols; j++ {
-			MulAddSlice(m.At(i, j), in[j], out[i])
+			c := m.At(i, j)
+			if c == 0 {
+				continue
+			}
+			if !started {
+				MulSlice(c, in[j], out[i])
+				started = true
+			} else {
+				MulAddSlice(c, in[j], out[i])
+			}
+		}
+		if !started {
+			for k := range out[i] {
+				out[i][k] = 0
+			}
 		}
 	}
-	return out
 }
 
 // ErrSingular is returned by Invert when the matrix has no inverse.

@@ -15,57 +15,85 @@ import (
 // It returns the block bytes and the number of block-unit transfers
 // the read cost (0 for a healthy replica read).
 func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fi, ok := s.manifest.Files[name]
-	if !ok {
-		return nil, 0, fmt.Errorf("hdfsraid: no such file %q", name)
-	}
-	cc, err := s.fileCodec(fi)
+	dst := make([]byte, s.BlockSize())
+	cost, err := s.ReadBlockInto(dst, name, stripe, symbol)
 	if err != nil {
 		return nil, 0, err
 	}
+	return dst, cost, nil
+}
+
+// BlockSize returns the store's block size.
+func (s *Store) BlockSize() int { return s.manifest.BlockSize }
+
+// ReadBlockInto is ReadBlock into a caller-provided buffer of exactly
+// BlockSize bytes — the steady-state read path, which together with the
+// store's frame and payload pools moves block payloads with zero
+// allocations per read.
+func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(dst) != s.manifest.BlockSize {
+		return 0, fmt.Errorf("hdfsraid: ReadBlockInto needs a %d-byte buffer, got %d", s.manifest.BlockSize, len(dst))
+	}
+	fi, ok := s.manifest.Files[name]
+	if !ok {
+		return 0, fmt.Errorf("hdfsraid: no such file %q", name)
+	}
+	cc, err := s.fileCodec(fi)
+	if err != nil {
+		return 0, err
+	}
 	if stripe < 0 || stripe >= fi.Stripes {
-		return nil, 0, fmt.Errorf("hdfsraid: stripe %d out of range", stripe)
+		return 0, fmt.Errorf("hdfsraid: stripe %d out of range", stripe)
 	}
 	if symbol < 0 || symbol >= cc.code.DataSymbols() {
-		return nil, 0, fmt.Errorf("hdfsraid: symbol %d is not a data symbol", symbol)
+		return 0, fmt.Errorf("hdfsraid: symbol %d is not a data symbol", symbol)
 	}
 	if s.OnRead != nil {
 		s.OnRead(name)
 	}
 	p := cc.code.Placement()
 
+	// One pooled frame serves every block file this read touches.
+	frame := s.framePool.Get()
+	defer s.framePool.Put(frame)
+
 	// Fast path: a healthy replica.
 	var downNodes []int
 	for _, v := range p.SymbolNodes[symbol] {
-		data, err := readBlock(s.blockPath(v, name, stripe, symbol), s.manifest.BlockSize)
+		data, err := readBlockInto(s.blockPath(v, name, stripe, symbol), frame)
 		if err == nil {
-			return data, 0, nil
+			copy(dst, data)
+			return 0, nil
 		}
 		downNodes = append(downNodes, v)
 	}
 
 	// Degraded path: plan a partial-parity read around the dead
-	// replicas.
+	// replicas. The plan's decode coefficients come from the code's
+	// per-erasure-pattern cache, so repeated degraded reads of one
+	// failure pattern skip the matrix inversion.
 	rp, ok := cc.code.(core.ReadPlanner)
 	if !ok {
-		return nil, 0, fmt.Errorf("hdfsraid: code %s cannot plan reads", cc.code.Name())
+		return 0, fmt.Errorf("hdfsraid: code %s cannot plan reads", cc.code.Name())
 	}
 	plan, err := rp.PlanRead(symbol, downNodes, core.OffCluster)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	out := make([]byte, s.manifest.BlockSize)
+	clear(dst)
+	payload := s.payloadPool.Get()
+	defer s.payloadPool.Put(payload)
 	for i, tr := range plan.Transfers {
-		payload := make([]byte, s.manifest.BlockSize)
+		clear(payload)
 		for _, term := range tr.Terms {
-			data, err := readBlock(s.blockPath(tr.From, name, stripe, term.Symbol), s.manifest.BlockSize)
+			data, err := readBlockInto(s.blockPath(tr.From, name, stripe, term.Symbol), frame)
 			if err != nil {
 				if os.IsNotExist(err) {
-					return nil, 0, fmt.Errorf("hdfsraid: degraded read needs node %d symbol %d, which is also gone", tr.From, term.Symbol)
+					return 0, fmt.Errorf("hdfsraid: degraded read needs node %d symbol %d, which is also gone", tr.From, term.Symbol)
 				}
-				return nil, 0, err
+				return 0, err
 			}
 			gf256.MulAddSlice(term.Coeff, data, payload)
 		}
@@ -73,7 +101,7 @@ func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) 
 		if plan.Coeffs != nil {
 			coeff = plan.Coeffs[i]
 		}
-		gf256.MulAddSlice(coeff, payload, out)
+		gf256.MulAddSlice(coeff, payload, dst)
 	}
-	return out, plan.Bandwidth(), nil
+	return plan.Bandwidth(), nil
 }

@@ -2,6 +2,9 @@ package hdfsraid
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -53,6 +56,107 @@ func TestReadBlockDegradedAllCodes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestReadBlockConcurrentDegraded runs many goroutines through the
+// degraded read path of one failure pattern while others read healthy
+// symbols and whole files — the shape that shares the per-pattern
+// decode-plan cache and the frame/payload pools across readers. Run
+// under -race in CI, it guards the cache and pool concurrency.
+func TestReadBlockConcurrentDegraded(t *testing.T) {
+	s := newStore(t, "rs-9-6")
+	k := s.Code().DataSymbols()
+	data := randomFile(t, 3*blockSize*k, 43)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill symbol 0's only holder: reads of symbol 0 decode through
+	// partial parities, everything else stays healthy.
+	if err := s.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, blockSize)
+			for iter := 0; iter < 20; iter++ {
+				stripe := (w + iter) % 3
+				sym := 0
+				if w%2 == 1 {
+					sym = 1 + (w+iter)%(k-1) // healthy symbols
+				}
+				cost, err := s.ReadBlockInto(dst, "f", stripe, sym)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if sym == 0 && cost == 0 {
+					errs <- fmt.Errorf("degraded read of symbol 0 cost 0")
+					return
+				}
+				off := (stripe*k + sym) * blockSize
+				if !bytes.Equal(dst, data[off:off+blockSize]) {
+					errs <- fmt.Errorf("worker %d: wrong bytes for stripe %d symbol %d", w, stripe, sym)
+					return
+				}
+				if iter%5 == 0 {
+					got, err := s.Get("f")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(got, data) {
+						errs <- fmt.Errorf("worker %d: Get returned wrong file", w)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestReadBlockSteadyStateAllocations pins down the satellite fix for
+// the per-block payload allocations: after warm-up, a healthy
+// ReadBlockInto must not allocate block-size payloads (the only
+// allocations left are the os.Open file handle and path string, far
+// below one block).
+func TestReadBlockSteadyStateAllocations(t *testing.T) {
+	s := newStore(t, "pentagon")
+	k := s.Code().DataSymbols()
+	data := randomFile(t, blockSize*k, 44)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, blockSize)
+	readOne := func() {
+		if _, err := s.ReadBlockInto(dst, "f", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readOne() // warm the pools
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const iters = 50
+	for i := 0; i < iters; i++ {
+		readOne()
+	}
+	runtime.ReadMemStats(&after)
+	perOp := (after.TotalAlloc - before.TotalAlloc) / iters
+	// The un-pooled path allocated 2-3 block frames per read (>8 KiB);
+	// the bound is one block so the test also survives the race
+	// detector's allocation overhead.
+	if perOp > blockSize {
+		t.Fatalf("steady-state ReadBlockInto allocates %d B/op; block payloads are not pooled", perOp)
 	}
 }
 

@@ -17,10 +17,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -50,6 +53,13 @@ type Store struct {
 	root    string
 	code    core.Code
 	striper *core.Striper
+
+	// framePool recycles on-disk block frames (payload + CRC trailer)
+	// across reads and writes; payloadPool recycles bare block-size
+	// buffers for degraded-read payloads and encode pipelines. Both
+	// keep steady-state block traffic allocation-free.
+	framePool   *core.BlockPool
+	payloadPool *core.BlockPool
 
 	mu       sync.RWMutex
 	manifest Manifest
@@ -92,8 +102,10 @@ func Create(root, codeName string, blockSize int) (*Store, error) {
 	}
 	s := &Store{
 		root: root, code: c, striper: st,
-		manifest: Manifest{CodeName: codeName, BlockSize: blockSize, Files: map[string]FileInfo{}},
-		codecs:   map[string]codec{codeName: {c, st}},
+		framePool:   core.NewBlockPool(blockSize + 4),
+		payloadPool: core.NewBlockPool(blockSize),
+		manifest:    Manifest{CodeName: codeName, BlockSize: blockSize, Files: map[string]FileInfo{}},
+		codecs:      map[string]codec{codeName: {c, st}},
 	}
 	if err := s.ensureNodeDirs(c.Nodes()); err != nil {
 		return nil, err
@@ -126,7 +138,9 @@ func Open(root string) (*Store, error) {
 		m.Files = map[string]FileInfo{}
 	}
 	s := &Store{root: root, code: c, striper: st, manifest: m,
-		codecs: map[string]codec{m.CodeName: {c, st}}}
+		framePool:   core.NewBlockPool(m.BlockSize + 4),
+		payloadPool: core.NewBlockPool(m.BlockSize),
+		codecs:      map[string]codec{m.CodeName: {c, st}}}
 	// Fail fast if the manifest references an unregistered tier code.
 	for name, fi := range m.Files {
 		if _, err := s.fileCodec(fi); err != nil {
@@ -244,31 +258,76 @@ func (s *Store) saveManifest() error {
 	return os.WriteFile(filepath.Join(s.root, manifestName), raw, 0o644)
 }
 
-// writeBlock writes block bytes with a CRC-32C trailer.
-func writeBlock(path string, data []byte) error {
-	buf := make([]byte, len(data)+4)
-	copy(buf, data)
-	binary.LittleEndian.PutUint32(buf[len(data):], block.Checksum(data))
-	return os.WriteFile(path, buf, 0o644)
+// writeBlock writes block bytes with a CRC-32C trailer, assembling the
+// on-disk frame in a pooled buffer instead of allocating one per block.
+func (s *Store) writeBlock(path string, data []byte) error {
+	if len(data) != s.manifest.BlockSize {
+		return fmt.Errorf("hdfsraid: writeBlock got %d bytes, want %d", len(data), s.manifest.BlockSize)
+	}
+	frame := s.framePool.Get()
+	defer s.framePool.Put(frame)
+	copy(frame, data)
+	binary.LittleEndian.PutUint32(frame[len(data):], block.Checksum(data))
+	return os.WriteFile(path, frame, 0o644)
 }
 
 // ErrCorrupt reports a checksum mismatch.
 var ErrCorrupt = errors.New("hdfsraid: block checksum mismatch")
 
-// readBlock reads and verifies one block file.
-func readBlock(path string, blockSize int) ([]byte, error) {
-	raw, err := os.ReadFile(path)
+// readBlockInto reads and verifies one block file into frame, which
+// must be blockSize+4 bytes (typically from the store's frame pool).
+// The returned payload aliases frame[:blockSize].
+func readBlockInto(path string, frame []byte) ([]byte, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) != blockSize+4 {
-		return nil, fmt.Errorf("%w: %s has %d bytes, want %d", ErrCorrupt, path, len(raw), blockSize+4)
+	defer f.Close()
+	if _, err := io.ReadFull(f, frame); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: %s shorter than %d bytes", ErrCorrupt, path, len(frame))
+		}
+		return nil, err
 	}
-	data := raw[:blockSize]
-	if binary.LittleEndian.Uint32(raw[blockSize:]) != block.Checksum(data) {
+	var extra [1]byte
+	if n, _ := f.Read(extra[:]); n != 0 {
+		return nil, fmt.Errorf("%w: %s longer than %d bytes", ErrCorrupt, path, len(frame))
+	}
+	blockSize := len(frame) - 4
+	data := frame[:blockSize]
+	if binary.LittleEndian.Uint32(frame[blockSize:]) != block.Checksum(data) {
 		return nil, fmt.Errorf("%w: %s", ErrCorrupt, path)
 	}
 	return data, nil
+}
+
+// writeFileBlocks encodes data under cc and writes every symbol
+// replica of every stripe to its placement node, appending suffix to
+// each block path. Encoding and disk writes run through the striper's
+// streaming pipeline: a bounded worker pool encodes one stripe from
+// pooled buffers while others are being written, and every buffer is
+// recycled the moment its blocks are on disk. It returns the paths
+// written (without suffix), including those written before a failure,
+// so callers can clean up staged blocks.
+func (s *Store) writeFileBlocks(name string, cc codec, data []byte, suffix string) ([]string, error) {
+	p := cc.code.Placement()
+	var mu sync.Mutex
+	var written []string
+	err := cc.striper.EncodeStream(data, 0, s.payloadPool, func(stripe core.EncodedStripe) error {
+		for sym, buf := range stripe.Symbols {
+			for _, v := range p.SymbolNodes[sym] {
+				path := s.blockPath(v, name, stripe.Index, sym)
+				if err := s.writeBlock(path+suffix, buf); err != nil {
+					return err
+				}
+				mu.Lock()
+				written = append(written, path)
+				mu.Unlock()
+			}
+		}
+		return nil
+	})
+	return written, err
 }
 
 // Put stripes, encodes and stores a file, writing every symbol replica
@@ -282,21 +341,10 @@ func (s *Store) Put(name string, data []byte) error {
 	if _, dup := s.manifest.Files[name]; dup {
 		return fmt.Errorf("hdfsraid: file %q already stored", name)
 	}
-	stripes, err := s.striper.EncodeFile(data)
-	if err != nil {
+	if _, err := s.writeFileBlocks(name, codec{s.code, s.striper}, data, ""); err != nil {
 		return err
 	}
-	p := s.code.Placement()
-	for _, stripe := range stripes {
-		for sym, buf := range stripe.Symbols {
-			for _, v := range p.SymbolNodes[sym] {
-				if err := writeBlock(s.blockPath(v, name, stripe.Index, sym), buf); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	s.manifest.Files[name] = FileInfo{Length: len(data), Stripes: len(stripes)}
+	s.manifest.Files[name] = FileInfo{Length: len(data), Stripes: s.striper.StripeCount(len(data))}
 	return s.saveManifest()
 }
 
@@ -310,6 +358,11 @@ func (s *Store) Get(name string) ([]byte, error) {
 // skip the heat hook so tiering moves don't count as accesses. The
 // read lock spans the whole read, so a concurrent transcode's block
 // swap can never be observed half-done.
+//
+// Stripes are independent, so they are loaded and decoded by a worker
+// pool, each worker reading block frames into pooled buffers that are
+// recycled as soon as the stripe's bytes are copied into the result —
+// the only steady-state allocation is the returned file buffer.
 func (s *Store) get(name string, internal bool) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -324,22 +377,90 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := cc.code.Placement()
-	stripes := make([]core.EncodedStripe, fi.Stripes)
-	for i := 0; i < fi.Stripes; i++ {
-		symbols := make([][]byte, cc.code.Symbols())
-		for sym := range symbols {
-			for _, v := range p.SymbolNodes[sym] {
-				data, err := readBlock(s.blockPath(v, name, i, sym), s.manifest.BlockSize)
-				if err == nil {
-					symbols[sym] = data
-					break
-				}
-			}
-		}
-		stripes[i] = core.EncodedStripe{Index: i, Symbols: symbols}
+	if want := cc.striper.StripeCount(fi.Length); want != fi.Stripes {
+		return nil, fmt.Errorf("hdfsraid: %q has %d stripes, want %d for %d bytes", name, fi.Stripes, want, fi.Length)
 	}
-	return cc.striper.DecodeFile(stripes, fi.Length)
+	p := cc.code.Placement()
+	k := cc.code.DataSymbols()
+	nsym := cc.code.Symbols()
+	bs := s.manifest.BlockSize
+	out := make([]byte, fi.Length)
+	if fi.Stripes == 0 {
+		return out, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > fi.Stripes {
+		workers = fi.Stripes
+	}
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var frames [][]byte // free frames, reused across this worker's stripes
+			defer func() {
+				for _, f := range frames {
+					s.framePool.Put(f)
+				}
+			}()
+			getFrame := func() []byte {
+				if n := len(frames); n > 0 {
+					f := frames[n-1]
+					frames = frames[:n-1]
+					return f
+				}
+				return s.framePool.Get()
+			}
+			symbols := make([][]byte, nsym)
+			used := make([][]byte, 0, nsym)
+			for i := w; i < fi.Stripes && !failed.Load(); i += workers {
+				used = used[:0]
+				for sym := 0; sym < nsym; sym++ {
+					symbols[sym] = nil
+					for _, v := range p.SymbolNodes[sym] {
+						frame := getFrame()
+						data, err := readBlockInto(s.blockPath(v, name, i, sym), frame)
+						if err != nil {
+							frames = append(frames, frame)
+							continue
+						}
+						symbols[sym] = data
+						used = append(used, frame)
+						break
+					}
+				}
+				data, err := cc.code.Decode(symbols)
+				if err != nil {
+					errs[w] = fmt.Errorf("hdfsraid: decoding %q stripe %d: %w", name, i, err)
+					failed.Store(true)
+				} else {
+					for j := 0; j < k; j++ {
+						off := (i*k + j) * bs
+						if off >= len(out) {
+							break
+						}
+						n := len(out) - off
+						if n > bs {
+							n = bs
+						}
+						copy(out[off:off+n], data[j][:n])
+					}
+				}
+				frames = append(frames, used...)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // KillNode erases a node's directory contents, simulating node loss.
@@ -403,31 +524,44 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 			continue
 		}
 		p := cc.code.Placement()
+		// The failure pattern is fixed across stripes, so plan once and
+		// execute per stripe with pooled frames and payloads.
+		plan, err := planner.PlanRepair(fileFailed)
+		if err != nil {
+			return rep, err
+		}
+		isFailed := map[int]bool{}
+		for _, f := range fileFailed {
+			isFailed[f] = true
+		}
+		var frames [][]byte
+		releaseFrames := func() {
+			for _, f := range frames {
+				s.framePool.Put(f)
+			}
+			frames = frames[:0]
+		}
 		for i := 0; i < fi.Stripes; i++ {
-			plan, err := planner.PlanRepair(fileFailed)
-			if err != nil {
-				return rep, err
-			}
-			// Load surviving node contents.
+			// Load surviving node contents into pooled frames.
 			nc := make(core.NodeContents, cc.code.Nodes())
-			isFailed := map[int]bool{}
-			for _, f := range fileFailed {
-				isFailed[f] = true
-			}
 			for v := range nc {
 				nc[v] = map[int][]byte{}
 				if isFailed[v] {
 					continue
 				}
 				for _, sym := range p.NodeSymbols[v] {
-					data, err := readBlock(s.blockPath(v, name, i, sym), s.manifest.BlockSize)
+					frame := s.framePool.Get()
+					data, err := readBlockInto(s.blockPath(v, name, i, sym), frame)
 					if err != nil {
+						s.framePool.Put(frame)
 						continue // tolerate extra damage; the plan will fail loudly if fatal
 					}
+					frames = append(frames, frame)
 					nc[v][sym] = data
 				}
 			}
-			if err := core.ExecuteRepair(nc, plan, s.manifest.BlockSize); err != nil {
+			if err := core.ExecuteRepairPooled(nc, plan, s.manifest.BlockSize, s.payloadPool); err != nil {
+				releaseFrames()
 				return rep, fmt.Errorf("hdfsraid: %s stripe %d: %w", name, i, err)
 			}
 			// Persist the restored replicas.
@@ -435,14 +569,17 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 				for _, sym := range p.NodeSymbols[f] {
 					buf, ok := nc[f][sym]
 					if !ok {
+						releaseFrames()
 						return rep, fmt.Errorf("hdfsraid: %s stripe %d: symbol %d not restored on node %d", name, i, sym, f)
 					}
-					if err := writeBlock(s.blockPath(f, name, i, sym), buf); err != nil {
+					if err := s.writeBlock(s.blockPath(f, name, i, sym), buf); err != nil {
+						releaseFrames()
 						return rep, err
 					}
 					rep.BlocksRestored++
 				}
 			}
+			releaseFrames()
 			rep.Stripes++
 			rep.Transfers += plan.Bandwidth()
 		}
@@ -466,6 +603,8 @@ func (s *Store) Fsck() (FsckReport, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var rep FsckReport
+	frame := s.framePool.Get()
+	defer s.framePool.Put(frame)
 	for _, name := range s.filesLocked() {
 		fi := s.manifest.Files[name]
 		cc, err := s.fileCodec(fi)
@@ -477,7 +616,7 @@ func (s *Store) Fsck() (FsckReport, error) {
 			for sym := 0; sym < cc.code.Symbols(); sym++ {
 				for _, v := range p.SymbolNodes[sym] {
 					rep.Blocks++
-					_, err := readBlock(s.blockPath(v, name, i, sym), s.manifest.BlockSize)
+					_, err := readBlockInto(s.blockPath(v, name, i, sym), frame)
 					switch {
 					case err == nil:
 					case errors.Is(err, ErrCorrupt):

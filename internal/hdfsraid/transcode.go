@@ -49,35 +49,28 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 
 	// Recover the file bytes through the old code, tolerating dead
 	// nodes up to its fault tolerance. The internal read skips the
-	// heat hook: a tiering move is not an access.
+	// heat hook: a tiering move is not an access. The read itself
+	// decodes stripes with the store's worker pool and pooled frames.
 	data, err := s.get(name, true)
 	if err != nil {
 		return rep, fmt.Errorf("hdfsraid: transcode %q: %w", name, err)
 	}
 	rep.DataBlocksRead = oldCC.striper.StripeCount(len(data)) * oldCC.code.DataSymbols()
 
-	// Encode under the new code and stage every replica.
-	stripes, err := newCC.striper.EncodeFileConcurrent(data, 0)
-	if err != nil {
-		return rep, err
-	}
+	// Re-encode under the new code and stage every replica, as a
+	// pipeline: a bounded worker pool encodes stripe N from pooled
+	// buffers while other workers are still writing stripe N-1, and
+	// every parity buffer is recycled the moment its stripe is on
+	// disk. Tier-manager rebalance moves run through this same path.
 	if err := s.ensureNodeDirs(newCC.code.Nodes()); err != nil {
 		return rep, err
 	}
-	newP := newCC.code.Placement()
-	var staged []string
-	for _, stripe := range stripes {
-		for sym, buf := range stripe.Symbols {
-			for _, v := range newP.SymbolNodes[sym] {
-				path := s.blockPath(v, name, stripe.Index, sym)
-				if err := writeBlock(path+tmpSuffix, buf); err != nil {
-					removeAll(staged)
-					return rep, err
-				}
-				staged = append(staged, path)
-			}
-		}
+	staged, err := s.writeFileBlocks(name, newCC, data, tmpSuffix)
+	if err != nil {
+		removeAll(staged)
+		return rep, err
 	}
+	stripeCount := newCC.striper.StripeCount(len(data))
 
 	// Point of no return: with readers excluded, drop the old
 	// replicas, promote the staged ones, record the new code.
@@ -103,8 +96,8 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 		}
 		rep.BlocksWritten++
 	}
-	rep.Stripes = len(stripes)
-	s.manifest.Files[name] = FileInfo{Length: fi.Length, Stripes: len(stripes), Code: codeName}
+	rep.Stripes = stripeCount
+	s.manifest.Files[name] = FileInfo{Length: fi.Length, Stripes: stripeCount, Code: codeName}
 	return rep, s.saveManifest()
 }
 

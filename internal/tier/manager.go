@@ -124,7 +124,10 @@ func (m *Manager) States(now float64) []FileState {
 
 // Rebalance asks the policy for moves at time now and executes them by
 // online transcoding. It stops at the first transcode error, returning
-// the moves already made.
+// the moves already made. Against the on-disk store, each move runs
+// through the store's streaming transcode pipeline (parallel stripe
+// decode, pooled buffers, encode overlapped with staging writes), so
+// steady-state rebalance traffic stays off the allocator's back.
 func (m *Manager) Rebalance(now float64) ([]MoveResult, error) {
 	var done []MoveResult
 	for _, mv := range m.Policy.Decide(now, m.States(now)) {

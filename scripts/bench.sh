@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the coding hot-path benchmarks and record them in
+# BENCH_coding.json (label defaults to "after"):
+#
+#     scripts/bench.sh            # record under "after"
+#     scripts/bench.sh before     # record under "before"
+#
+# Store benchmarks create throwaway stores under TMPDIR; pointing it at
+# a tmpfs (done below when /dev/shm exists) keeps disk latency out of
+# the coding-path numbers.
+set -e
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-after}"
+if [ -d /dev/shm ] && [ -z "${BENCH_TMPDIR_SET:-}" ]; then
+    export TMPDIR=/dev/shm
+fi
+exec go run ./cmd/benchjson -label "$LABEL" -out BENCH_coding.json
