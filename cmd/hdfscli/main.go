@@ -16,12 +16,18 @@
 //	hdfscli -store DIR tier status
 //	hdfscli -store DIR tier set NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S]
+//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-duration S] [rebalance flags]
+//
+// Every command Opens the store, which replays or rolls back any
+// transcode a crashed process left mid-flight (the manifest journal);
+// fsck reports when that recovery acted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"time"
@@ -71,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | tier {status | set NAME CODE | rebalance [flags]}}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]}}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
@@ -214,6 +220,8 @@ func doTier(store string, args []string) error {
 		return doTierSet(store, args[1:])
 	case "rebalance":
 		return doTierRebalance(store, args[1:])
+	case "daemon":
+		return doTierDaemon(store, args[1:])
 	default:
 		usage()
 		return nil
@@ -310,10 +318,101 @@ func doTierRebalance(store string, args []string) error {
 	return nil
 }
 
+// doTierDaemon runs the background rebalance daemon in the
+// foreground: every -every seconds it reloads the persisted heat
+// counters, asks the policy for moves, and executes them hottest file
+// first under a -budget MB/s transcode rate limit (0 = unlimited). It
+// stops after -duration seconds, or on interrupt when 0.
+func doTierDaemon(store string, args []string) error {
+	fs := flag.NewFlagSet("tier daemon", flag.ExitOnError)
+	hot := fs.String("hot", "pentagon", "hot-tier code")
+	cold := fs.String("cold", "rs-14-10", "cold-tier code")
+	promote := fs.Float64("promote", 5, "promote at this decayed heat")
+	demote := fs.Float64("demote", 1, "demote at or below this decayed heat")
+	dwell := fs.Float64("dwell", 0, "min seconds between moves of one file")
+	every := fs.Float64("every", 10, "seconds between rebalance scans")
+	budget := fs.Float64("budget", 0, "transcode budget, MB/s (0 = unlimited)")
+	duration := fs.Float64("duration", 0, "run this many seconds (0 = until interrupt)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		return err
+	}
+	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	if err != nil {
+		return err
+	}
+	m, err := tier.NewManager(tier.StoreTarget{Store: s}, tier.Policy{
+		HotCode: *hot, ColdCode: *cold,
+		PromoteAt: *promote, DemoteAt: *demote, MinDwell: *dwell,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	if err := m.LoadLastMoves(movesPath(store)); err != nil {
+		return err
+	}
+	d, err := tier.NewDaemon(m, tier.DaemonConfig{
+		Interval:    *every,
+		BytesPerSec: *budget * 1e6,
+		BlockBytes:  s.BlockSize(),
+	})
+	if err != nil {
+		return err
+	}
+	// Concurrent hdfscli gets append heat to the persisted tracker;
+	// pick those accesses up before every scan.
+	d.OnTick = func(float64) {
+		if fresh, err := tier.LoadTracker(heatPath(store), defaultHalfLife); err == nil {
+			m.Tracker = fresh
+		}
+	}
+	d.OnMove = func(mv tier.MoveResult, now float64) {
+		dir := "demote"
+		if mv.Promote {
+			dir = "promote"
+		}
+		fmt.Printf("%s %s: %s -> %s (heat %.2f, %d block-units moved)\n",
+			dir, mv.Name, mv.From, mv.To, mv.Heat, mv.BlocksMoved)
+	}
+	if err := d.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("rebalance daemon running: scan every %gs, budget %g MB/s (0 = unlimited); ^C to stop\n",
+		*every, *budget)
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	if *duration > 0 {
+		select {
+		case <-time.After(time.Duration(*duration * float64(time.Second))):
+		case <-interrupt:
+		}
+	} else {
+		<-interrupt
+	}
+	d.Stop()
+	if err := m.SaveLastMoves(movesPath(store)); err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("daemon stopped: %d scans, %d moves (%d promote / %d demote), %d deferred, %.1f MB moved\n",
+		st.Ticks, st.Moves, st.Promotions, st.Demotions, st.Deferred, st.BytesMoved/1e6)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
 func doFsck(store string) error {
 	s, err := hdfsraid.Open(store)
 	if err != nil {
 		return err
+	}
+	if rec := s.LastRecovery(); rec.Acted() {
+		fmt.Printf("journal recovery: %d transcodes replayed, %d rolled back, %d orphan staged blocks swept\n",
+			rec.Replayed, rec.RolledBack, rec.OrphanBlocks)
 	}
 	rep, err := s.Fsck()
 	if err != nil {

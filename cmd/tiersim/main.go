@@ -3,16 +3,22 @@
 // storage-overhead vs degraded-read frontier: static all-cold RS,
 // static all-hot, and adaptive policies at increasing promote
 // thresholds. Hot files on a double-replication code read locally even
-// with failed nodes; cold RS files pay k-block degraded reads; the
-// adaptive rows show how much of the hot tier's read latency a policy
-// buys back per unit of storage overhead, plus the transcode traffic
-// it costs.
+// with failed nodes; cold RS files pay k-block degraded reads.
+//
+// Tier moves are executed by the background rebalance daemon on the
+// simulation's virtual clock, and both the degraded-read fetches and
+// the daemon's transcode traffic flow through the shared store-and-
+// forward LAN model — so rebalance bursts visibly delay foreground
+// reads, and the -budget flag shows how the daemon's token-bucket
+// rate limit trades slower convergence for quieter reads (the
+// "deferred" column counts moves pushed to later scans).
 //
 // Usage:
 //
 //	tiersim [-files N] [-blocks B] [-accesses A] [-zipf S] [-rate R]
 //	        [-nodes N] [-failed F] [-hot CODE] [-cold CODE]
-//	        [-halflife S] [-every S] [-blockmb MB] [-netmbps MBPS] [-seed S]
+//	        [-halflife S] [-every S] [-budget MBPS]
+//	        [-blockmb MB] [-netmbps MBPS] [-seed S]
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	cold := flag.String("cold", "rs-14-10", "cold-tier code")
 	halfLife := flag.Float64("halflife", 60, "heat half-life, seconds")
 	every := flag.Float64("every", 10, "rebalance interval, seconds")
+	budget := flag.Float64("budget", 0, "daemon transcode budget, MB/s (0 = unlimited)")
 	blockMB := flag.Float64("blockmb", 64, "block size, MB")
 	netMBps := flag.Float64("netmbps", 100, "per-NIC bandwidth, MB/s")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -63,6 +70,12 @@ func main() {
 		isDown[frng.Intn(*nodes)] = true
 	}
 	down := func(v int) bool { return isDown[v] }
+	var live []int
+	for v := 0; v < *nodes; v++ {
+		if !isDown[v] {
+			live = append(live, v)
+		}
+	}
 
 	type row struct {
 		label     string
@@ -89,11 +102,12 @@ func main() {
 		})
 	}
 
-	fmt.Printf("tiersim: %d files x %d blocks, %d accesses (zipf %.2f), %d nodes, %d failed, hot=%s cold=%s\n\n",
-		*files, *blocks, *accesses, *zipfS, *nodes, *failed, *hot, *cold)
-	fmt.Printf("%-22s %8s %6s %10s %10s %10s %11s %11s\n",
-		"policy", "hot-end", "moves", "moved-blk", "overhead", "deg-reads", "xfers/read", "read-ms")
+	fmt.Printf("tiersim: %d files x %d blocks, %d accesses (zipf %.2f), %d nodes, %d failed, hot=%s cold=%s, budget=%g MB/s\n\n",
+		*files, *blocks, *accesses, *zipfS, *nodes, *failed, *hot, *cold, *budget)
+	fmt.Printf("%-22s %8s %6s %6s %10s %10s %10s %11s %11s\n",
+		"policy", "hot-end", "moves", "defer", "moved-blk", "overhead", "deg-reads", "xfers/read", "read-ms")
 
+	blockBytes := *blockMB * 1e6
 	for _, r := range rows {
 		ct := tier.NewClusterTarget(*nodes, *blocks, rand.New(rand.NewSource(*seed)))
 		for i := 0; i < *files; i++ {
@@ -105,10 +119,42 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		d, err := tier.NewDaemon(m, tier.DaemonConfig{
+			Interval:    r.every,
+			BytesPerSec: *budget * 1e6,
+			BlockBytes:  int(blockBytes),
+		})
+		if err != nil {
+			fatal(err)
+		}
 
-		// Meter reads and integrate storage overhead over time.
+		// One shared LAN carries both the degraded-read fetches and the
+		// daemon's transcode traffic, so rebalance bursts queue behind
+		// (and ahead of) foreground reads on the per-node NICs.
+		eng := sim.NewEngine()
+		net := sim.NewNetwork(eng, *nodes, *netMBps*1e6)
+		nrng := rand.New(rand.NewSource(*seed + 2))
+		pick := func(not int) int {
+			if len(live) < 2 {
+				return live[0] // degenerate cluster: transfers become local
+			}
+			for {
+				if v := live[nrng.Intn(len(live))]; v != not {
+					return v
+				}
+			}
+		}
+		d.OnMove = func(mv tier.MoveResult, now float64) {
+			for b := 0; b < mv.BlocksMoved; b++ {
+				src := live[nrng.Intn(len(live))]
+				net.Transfer(src, pick(src), blockBytes, func() {})
+			}
+		}
+
+		// Meter reads through the network and integrate storage
+		// overhead over time.
 		var transfers, degraded int
-		var overheadIntegral, lastT float64
+		var overheadIntegral, lastT, readLatSum float64
 		onAccess := func(name string, now float64) error {
 			phys, data := ct.StorageBlocks()
 			overheadIntegral += float64(phys) / float64(data) * (now - lastT)
@@ -118,12 +164,23 @@ func main() {
 				return err
 			}
 			transfers += cost
-			if cost > 0 {
-				degraded++
+			if cost == 0 {
+				return nil // data-local task: no network involved
+			}
+			degraded++
+			reader := live[nrng.Intn(len(live))]
+			start := now
+			remaining := cost
+			for j := 0; j < cost; j++ {
+				net.Transfer(pick(reader), reader, blockBytes, func() {
+					if remaining--; remaining == 0 {
+						readLatSum += eng.Now() - start
+					}
+				})
 			}
 			return nil
 		}
-		stats, err := tier.Replay(sim.NewEngine(), trace, m, r.every, onAccess)
+		stats, err := tier.ReplayDaemon(eng, trace, d, onAccess)
 		if err != nil {
 			fatal(err)
 		}
@@ -136,9 +193,9 @@ func main() {
 		}
 		avgOverhead := overheadIntegral / lastT
 		xfersPerRead := float64(transfers) / float64(stats.Accesses)
-		readMS := xfersPerRead * *blockMB / *netMBps * 1000
-		fmt.Printf("%-22s %5d/%-2d %6d %10d %9.2fx %10d %11.2f %11.0f\n",
-			r.label, hotEnd, *files, stats.Promotions+stats.Demotions,
+		readMS := readLatSum / float64(stats.Accesses) * 1000
+		fmt.Printf("%-22s %5d/%-2d %6d %6d %10d %9.2fx %10d %11.2f %11.0f\n",
+			r.label, hotEnd, *files, stats.Promotions+stats.Demotions, stats.Deferred,
 			stats.BlocksMoved, avgOverhead, degraded, xfersPerRead, readMS)
 	}
 }

@@ -1,0 +1,80 @@
+package hadoopcodes
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinks is the repo's markdown link checker: every relative
+// link in README.md and docs/*.md must point at a file that exists,
+// and every cross-file heading anchor must match a real heading. CI's
+// docs job runs it so the architecture and benchmark docs cannot rot
+// silently as files move.
+func TestDocsLinks(t *testing.T) {
+	pages := []string{"README.md", "PAPER.md", "ROADMAP.md", "CHANGES.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found; did the docs move?")
+	}
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, page := range pages {
+		raw, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("%s: %v", page, err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			if path == "" {
+				path = page // same-file anchor
+			} else {
+				path = filepath.Join(filepath.Dir(page), path)
+			}
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Errorf("%s: broken link %q: %v", page, target, err)
+				continue
+			}
+			if anchor != "" && !info.IsDir() {
+				if !hasAnchor(t, path, anchor) {
+					t.Errorf("%s: link %q: no heading for anchor %q in %s", page, target, anchor, path)
+				}
+			}
+		}
+	}
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals anchor.
+func hasAnchor(t *testing.T, path, anchor string) bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := regexp.MustCompile("[^a-z0-9 -]")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		h := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		slug := strings.ToLower(h)
+		slug = drop.ReplaceAllString(slug, "")
+		slug = strings.ReplaceAll(slug, " ", "-")
+		if slug == anchor {
+			return true
+		}
+	}
+	return false
+}

@@ -164,6 +164,7 @@ type ErasureError struct {
 	Reason  string
 }
 
+// Error formats the erasure pattern and why it is unrecoverable.
 func (e *ErasureError) Error() string {
 	return fmt.Sprintf("%s: unrecoverable erasure %v: %s", e.Code, e.Missing, e.Reason)
 }

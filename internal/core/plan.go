@@ -30,6 +30,7 @@ func (t Transfer) IsCopy() bool {
 	return len(t.Terms) == 1 && t.Terms[0].Coeff == 1
 }
 
+// String renders the transfer as "Nfrom->Nto [terms]" for plan dumps.
 func (t Transfer) String() string {
 	return fmt.Sprintf("N%d->N%d %v", t.From, t.To, t.Terms)
 }

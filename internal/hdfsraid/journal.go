@@ -1,0 +1,278 @@
+package hdfsraid
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// IntentState is the journal state of an in-flight transcode. The
+// states form a one-way crash-recovery state machine:
+//
+//	(idle) --stage .tc blocks--> (no record yet; orphan sweep on crash)
+//	       --persist intent----> IntentStaged   (replay or roll back)
+//	       --persist swapping--> IntentSwapping (always replay)
+//	       --commit manifest---> (idle)
+//
+// A crash before the intent record exists leaves only orphan .tc
+// blocks, which recovery sweeps (rollback: the file never left its old
+// code). A crash in IntentStaged is rolled forward when every staged
+// block is still present and healthy, and rolled back otherwise — the
+// old layout is untouched, so both directions are safe. A crash in
+// IntentSwapping has already begun destroying the old layout, so
+// recovery always rolls forward: the staged blocks are the only
+// complete copy.
+type IntentState string
+
+const (
+	// IntentStaged means every staged block is durable but the old
+	// layout is still fully intact.
+	IntentStaged IntentState = "staged"
+	// IntentSwapping means the swap has begun: old replicas may be
+	// gone and staged blocks may already occupy their final names.
+	IntentSwapping IntentState = "swapping"
+)
+
+// TranscodeIntent is the journal record of one in-flight transcode,
+// persisted inside the manifest before any destructive step so that
+// recovery after a crash is exact. Staged paths are root-relative
+// final block paths; the staged copy of each lives at path+".tc"
+// until the swap renames it into place.
+type TranscodeIntent struct {
+	File       string      `json:"file"`
+	From       string      `json:"from"` // resolved source code name
+	To         string      `json:"to"`   // resolved target code name
+	Length     int         `json:"length"`
+	OldStripes int         `json:"old_stripes"`
+	NewStripes int         `json:"new_stripes"`
+	State      IntentState `json:"state"`
+	Staged     []string    `json:"staged"` // root-relative final paths
+}
+
+// RecoverReport summarizes the startup recovery pass over the
+// transcode journal.
+type RecoverReport struct {
+	// Replayed is the number of journaled transcodes rolled forward to
+	// completion.
+	Replayed int
+	// RolledBack is the number of journaled transcodes undone (staged
+	// blocks dropped, file left on its old code).
+	RolledBack int
+	// OrphanBlocks counts stray .tc blocks swept that no journal
+	// record referenced (a crash before the intent was persisted).
+	OrphanBlocks int
+	// MissingStaged counts staged blocks a replay could not find in
+	// either staged or final form; the replayed file may need Repair.
+	MissingStaged int
+}
+
+// Acted reports whether recovery changed anything on disk.
+func (r RecoverReport) Acted() bool {
+	return r.Replayed > 0 || r.RolledBack > 0 || r.OrphanBlocks > 0
+}
+
+// LastRecovery returns the report of the recovery pass Open ran, so
+// callers (hdfscli fsck, monitoring) can surface crash cleanups.
+func (s *Store) LastRecovery() RecoverReport { return s.recovery }
+
+// Recover replays or rolls back any incomplete transcode recorded in
+// the manifest journal and sweeps orphan staged blocks. Open calls it
+// automatically; it is idempotent and safe on a healthy store.
+func (s *Store) Recover() (RecoverReport, error) {
+	s.tcMu.Lock()
+	defer s.tcMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep RecoverReport
+	if in := s.manifest.Journal; in != nil {
+		forward := true
+		if in.State == IntentStaged {
+			// The old layout is intact, so rolling back is safe; do so
+			// unless every staged block survived the crash.
+			forward = s.stagedComplete(in)
+		}
+		if forward {
+			missing, err := s.replayIntent(in)
+			if err != nil {
+				return rep, err
+			}
+			rep.Replayed++
+			rep.MissingStaged += missing
+		} else {
+			if err := s.rollbackIntent(in); err != nil {
+				return rep, err
+			}
+			rep.RolledBack++
+		}
+	}
+	n, err := s.sweepOrphans()
+	if err != nil {
+		return rep, err
+	}
+	rep.OrphanBlocks = n
+	return rep, nil
+}
+
+// stagedComplete reports whether every staged .tc block of the intent
+// is present and checksums clean. Only the staged form counts: in
+// IntentStaged no rename has happened yet, and a block already sitting
+// at the final path is the OLD layout's when the two layouts share a
+// path — mistaking it for a renamed staged block would replay the
+// transcode over missing data.
+func (s *Store) stagedComplete(in *TranscodeIntent) bool {
+	frame := s.framePool.Get()
+	defer s.framePool.Put(frame)
+	for _, rel := range in.Staged {
+		if _, err := readBlockInto(filepath.Join(s.root, rel)+tmpSuffix, frame); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// replayIntent rolls a journaled transcode forward to completion:
+// finish the swap, commit the file's new code, clear the journal. It
+// returns the number of staged blocks found in neither form (damage
+// for Repair to fix, not a reason to abort — the swap may already
+// have destroyed the old layout).
+func (s *Store) replayIntent(in *TranscodeIntent) (int, error) {
+	// The swap is about to begin (or resume); record that fact first
+	// so a crash during this very replay still recovers forward.
+	if in.State != IntentSwapping {
+		in.State = IntentSwapping
+		if err := s.saveManifest(); err != nil {
+			return 0, err
+		}
+	}
+	swap, err := s.completeSwap(in)
+	if err != nil {
+		return swap.missing, err
+	}
+	s.manifest.Files[in.File] = FileInfo{Length: in.Length, Stripes: in.NewStripes, Code: in.To}
+	s.manifest.Journal = nil
+	return swap.missing, s.saveManifest()
+}
+
+// rollbackIntent undoes a journaled transcode whose swap never began:
+// drop the staged blocks and clear the journal. The file table entry
+// was never touched, so the file simply stays on its old code.
+func (s *Store) rollbackIntent(in *TranscodeIntent) error {
+	for _, rel := range in.Staged {
+		os.Remove(filepath.Join(s.root, rel) + tmpSuffix)
+	}
+	s.manifest.Journal = nil
+	return s.saveManifest()
+}
+
+// swapResult tallies one completeSwap pass.
+type swapResult struct {
+	removed int // old block replicas deleted
+	renamed int // staged blocks promoted to their final names
+	missing int // staged blocks found in neither form
+}
+
+// completeSwap executes (or resumes) the destructive phase of a
+// journaled transcode: delete every old-layout replica that is not
+// also a final path of the new layout, then rename each staged block
+// into place. Both halves are idempotent, so recovery can re-run the
+// whole thing after a crash at any point. Callers hold mu and tcMu.
+func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
+	var res swapResult
+	newFinal := make(map[string]bool, len(in.Staged))
+	for _, rel := range in.Staged {
+		newFinal[filepath.Join(s.root, rel)] = true
+	}
+	oldCC, err := s.fileCodec(FileInfo{Code: in.From})
+	if err != nil {
+		return res, err
+	}
+	p := oldCC.code.Placement()
+	for i := 0; i < in.OldStripes; i++ {
+		for sym := 0; sym < oldCC.code.Symbols(); sym++ {
+			for _, v := range p.SymbolNodes[sym] {
+				path := s.blockPath(v, in.File, i, sym)
+				if newFinal[path] {
+					// The new layout reuses this name: the rename below
+					// will overwrite it, so never delete here (a resumed
+					// swap may already have promoted the staged block),
+					// but an old replica still present counts as removed.
+					if _, err := os.Stat(path); err == nil {
+						res.removed++
+					}
+					continue
+				}
+				if os.Remove(path) == nil {
+					res.removed++
+				}
+			}
+		}
+	}
+	for n, rel := range in.Staged {
+		path := filepath.Join(s.root, rel)
+		switch err := os.Rename(path+tmpSuffix, path); {
+		case err == nil:
+			res.renamed++
+		case os.IsNotExist(err):
+			if _, statErr := os.Stat(path); statErr == nil {
+				res.renamed++ // an earlier interrupted swap already promoted it
+			} else {
+				res.missing++
+			}
+		default:
+			return res, err
+		}
+		if n == 0 {
+			if err := s.kill("midswap"); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// sweepOrphans removes staged .tc blocks that no journal record
+// references — the residue of a transcode that crashed before its
+// intent was persisted. Caller holds mu.
+func (s *Store) sweepOrphans() (int, error) {
+	var referenced map[string]bool
+	if in := s.manifest.Journal; in != nil {
+		referenced = make(map[string]bool, len(in.Staged))
+		for _, rel := range in.Staged {
+			referenced[filepath.Join(s.root, rel)+tmpSuffix] = true
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(s.root, "node-*", "*"+tmpSuffix))
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, path := range matches {
+		if referenced[path] {
+			continue
+		}
+		if !strings.HasSuffix(path, tmpSuffix) {
+			continue
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// kill is the crash-injection hook for kill-point tests: when the
+// test-only killHook returns an error at a named point, the calling
+// operation aborts immediately without any cleanup, exactly as if the
+// process had died there. Production stores have no hook and pay one
+// nil check per point.
+func (s *Store) kill(point string) error {
+	if s.killHook == nil {
+		return nil
+	}
+	if err := s.killHook(point); err != nil {
+		return fmt.Errorf("hdfsraid: killed at %s: %w", point, err)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package hdfsraid
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// errKilled simulates process death at a kill point: the operation
+// aborts with no cleanup, exactly like a crash.
+var errKilled = errors.New("simulated crash")
+
+// killAt arms the store's crash hook to die the first time the named
+// point is reached.
+func killAt(s *Store, point string) {
+	s.killHook = func(p string) error {
+		if p == point {
+			return errKilled
+		}
+		return nil
+	}
+}
+
+// assertNoStagedBlocks fails if any .tc block survives under root.
+func assertNoStagedBlocks(t *testing.T, root string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(root, "node-*", "*"+tmpSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("staged blocks left after recovery: %v", matches)
+	}
+}
+
+// assertRecovered reopens the store, which runs the journal recovery
+// pass, and checks the invariant the journal exists to provide: the
+// file is on exactly one code, byte-identical, with a healthy block
+// inventory, no journal record, and no staged residue.
+func assertRecovered(t *testing.T, dir string, want []byte, wantCode string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, ok := s.FileCode("f"); !ok || code != wantCode {
+		t.Fatalf("recovered code = %q, %v; want %q", code, ok, wantCode)
+	}
+	got, err := s.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered bytes differ")
+	}
+	fsck, err := s.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsck.Healthy() {
+		t.Fatalf("store unhealthy after recovery: %+v", fsck)
+	}
+	if s.manifest.Journal != nil {
+		t.Fatalf("journal not cleared: %+v", s.manifest.Journal)
+	}
+	assertNoStagedBlocks(t, dir)
+	return s
+}
+
+// TestTranscodeKillPoints crashes a transcode between every stage of
+// the journal state machine and checks that reopening the store
+// replays or rolls back to a consistent, byte-identical file.
+func TestTranscodeKillPoints(t *testing.T) {
+	cases := []struct {
+		point    string // where the process "dies"
+		wantCode string // code the file must be on after recovery
+		replayed bool   // whether recovery rolls forward
+	}{
+		// Crash after staging but before the intent record exists:
+		// recovery knows nothing of the move, sweeps the orphan .tc
+		// blocks, and the file stays cold.
+		{point: "staged", wantCode: "rs-9-6", replayed: false},
+		// Crash with the intent journaled and all staged blocks
+		// durable: recovery rolls the move forward.
+		{point: "intent", wantCode: "pentagon", replayed: true},
+		// Crash mid-swap — old replicas partially deleted, one staged
+		// block already renamed: forward is the only safe direction.
+		{point: "midswap", wantCode: "pentagon", replayed: true},
+		// Crash after the full swap, before the manifest commit.
+		{point: "swapped", wantCode: "pentagon", replayed: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Create(dir, "rs-9-6", blockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := randomFile(t, 12*blockSize+13, 60)
+			if err := s.Put("f", want); err != nil {
+				t.Fatal(err)
+			}
+			killAt(s, tc.point)
+			if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+				t.Fatalf("Transcode error = %v, want simulated crash", err)
+			}
+			s2 := assertRecovered(t, dir, want, tc.wantCode)
+			rec := s2.LastRecovery()
+			if tc.replayed && rec.Replayed != 1 {
+				t.Fatalf("recovery = %+v, want a replay", rec)
+			}
+			if !tc.replayed && (rec.Replayed != 0 || rec.OrphanBlocks == 0) {
+				t.Fatalf("recovery = %+v, want an orphan sweep", rec)
+			}
+			if rec.MissingStaged != 0 {
+				t.Fatalf("recovery lost staged blocks: %+v", rec)
+			}
+		})
+	}
+}
+
+// TestTranscodeKillPointsDemote runs the mid-swap kill on the demote
+// direction (wide hot code back to narrow RS), where old and new block
+// paths overlap heavily.
+func TestTranscodeKillPointsDemote(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 9*blockSize, 61)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transcode("f", "heptagon-local"); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "midswap")
+	if _, err := s.Transcode("f", "rs-9-6"); !errors.Is(err, errKilled) {
+		t.Fatalf("Transcode error = %v, want simulated crash", err)
+	}
+	assertRecovered(t, dir, want, "rs-9-6")
+}
+
+// TestRecoveryRollsBackDamagedStage crashes after the intent record
+// but loses a staged block before recovery runs: rolling forward is
+// impossible, so recovery must fall back to the intact old layout.
+func TestRecoveryRollsBackDamagedStage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 12*blockSize, 62)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "intent")
+	if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+		t.Fatalf("Transcode error = %v, want simulated crash", err)
+	}
+	// Lose one staged block between the crash and the restart.
+	matches, err := filepath.Glob(filepath.Join(dir, "node-*", "*"+tmpSuffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no staged blocks on disk (err=%v)", err)
+	}
+	if err := os.Remove(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+	s2 := assertRecovered(t, dir, want, "rs-9-6")
+	if rec := s2.LastRecovery(); rec.RolledBack != 1 {
+		t.Fatalf("recovery = %+v, want a rollback", rec)
+	}
+}
+
+// TestRecoveryIdempotent reopens a recovered store again: the second
+// pass must find nothing to do.
+func TestRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 10*blockSize, 63)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "midswap")
+	if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+		t.Fatal("expected simulated crash")
+	}
+	first := assertRecovered(t, dir, want, "pentagon")
+	if !first.LastRecovery().Acted() {
+		t.Fatalf("first recovery did nothing: %+v", first.LastRecovery())
+	}
+	second := assertRecovered(t, dir, want, "pentagon")
+	if second.LastRecovery().Acted() {
+		t.Fatalf("second recovery acted again: %+v", second.LastRecovery())
+	}
+}
+
+// TestTranscodeRefusesPendingJournal: a transcode that failed between
+// journaling and committing leaves the journal record as the only
+// recovery map; a later transcode must refuse to overwrite it until
+// Recover has run.
+func TestTranscodeRefusesPendingJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 9*blockSize, 66)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("g", randomFile(t, 6*blockSize, 67)); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "midswap") // f's swap "fails" with its journal record live
+	if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+		t.Fatal("expected simulated crash")
+	}
+	s.killHook = nil
+	if _, err := s.Transcode("g", "pentagon"); err == nil || !strings.Contains(err.Error(), "pending") {
+		t.Fatalf("transcode over a pending journal: err = %v", err)
+	}
+	if rec, err := s.Recover(); err != nil || rec.Replayed != 1 {
+		t.Fatalf("recover = %+v, %v", rec, err)
+	}
+	if _, err := s.Transcode("g", "pentagon"); err != nil {
+		t.Fatalf("transcode after recover: %v", err)
+	}
+	for name, data := range map[string][]byte{"f": want} {
+		got, err := s.Get(name)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%s wrong after pending-journal dance (%v)", name, err)
+		}
+	}
+	if fsck, err := s.Fsck(); err != nil || !fsck.Healthy() {
+		t.Fatalf("unhealthy: %+v, %v", fsck, err)
+	}
+}
+
+// TestManifestSaveAtomic checks that the manifest is replaced by
+// rename: a leftover temp file from a crashed save must never shadow
+// or corrupt the real manifest.
+func TestManifestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 6*blockSize, 64)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-save: a torn temp file beside the manifest.
+	if err := os.WriteFile(filepath.Join(dir, manifestName+".tmp"), []byte(`{"code": "rs-`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("bytes differ after torn manifest save")
+	}
+}
+
+// TestJournalPersistedBeforeSwap inspects the on-disk manifest at the
+// intent kill point: the journal record must already be durable, with
+// the staged-block list recovery needs.
+func TestJournalPersistedBeforeSwap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("f", randomFile(t, 9*blockSize, 65)); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "intent")
+	if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+		t.Fatal("expected simulated crash")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"transcode_intent"`, `"from": "rs-9-6"`, `"to": "pentagon"`, `"staged"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("durable manifest missing %s:\n%s", want, raw)
+		}
+	}
+}

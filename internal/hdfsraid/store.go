@@ -29,11 +29,15 @@ import (
 	"repro/internal/core"
 )
 
-// Manifest records the store's configuration and file table.
+// Manifest records the store's configuration and file table, plus the
+// transcode journal: at most one in-flight transcode's intent record,
+// persisted before any destructive swap step so crash recovery is
+// exact (see TranscodeIntent).
 type Manifest struct {
 	CodeName  string              `json:"code"`
 	BlockSize int                 `json:"block_size"`
 	Files     map[string]FileInfo `json:"files"`
+	Journal   *TranscodeIntent    `json:"transcode_intent,omitempty"`
 }
 
 // FileInfo records one stored file.
@@ -77,6 +81,13 @@ type Store struct {
 	// heat tracking; it must be cheap and non-blocking. Set it before
 	// serving concurrent reads.
 	OnRead func(name string)
+
+	// killHook simulates a crash at named points for kill-point tests;
+	// nil in production. See (*Store).kill.
+	killHook func(point string) error
+
+	// recovery is the report of the recovery pass Open ran.
+	recovery RecoverReport
 }
 
 // codec bundles a code with its striper for one block size.
@@ -147,6 +158,13 @@ func Open(root string) (*Store, error) {
 			return nil, fmt.Errorf("hdfsraid: file %q: %w", name, err)
 		}
 	}
+	// Replay or roll back any transcode the last process left mid-
+	// flight, and sweep orphan staged blocks, before serving reads.
+	rec, err := s.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("hdfsraid: recovering journal: %w", err)
+	}
+	s.recovery = rec
 	return s, nil
 }
 
@@ -250,12 +268,52 @@ func (s *Store) blockPath(v int, name string, stripe, symbol int) string {
 	return filepath.Join(s.nodeDir(v), fmt.Sprintf("%s.%d.%d", name, stripe, symbol))
 }
 
+// saveManifest persists the manifest atomically: write a temp file,
+// fsync it, and rename over the old manifest. A crash at any point
+// leaves either the old or the new manifest intact, never a torn
+// half-write — the property the transcode journal's recovery depends
+// on. Callers hold mu (or have exclusive access during Create).
 func (s *Store) saveManifest() error {
 	raw, err := json.MarshalIndent(s.manifest, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.root, manifestName), raw, 0o644)
+	final := filepath.Join(s.root, manifestName)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	// The rename itself must be durable before callers take
+	// destructive steps that depend on the journal record: fsync the
+	// directory entry, or a power loss could surface the old manifest
+	// alongside a half-swapped file.
+	dir, err := os.Open(s.root)
+	if err != nil {
+		return err
+	}
+	syncErr := dir.Sync()
+	if closeErr := dir.Close(); syncErr == nil {
+		syncErr = closeErr
+	}
+	return syncErr
 }
 
 // writeBlock writes block bytes with a CRC-32C trailer, assembling the

@@ -3,6 +3,7 @@ package hdfsraid
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // TranscodeReport summarizes one online transcode.
@@ -26,6 +27,14 @@ const tmpSuffix = ".tc"
 // primitive of the hot/cold tiering layer: promote cold RS files to a
 // double-replication code when they heat up, demote them back when
 // they cool.
+//
+// The swap is crash-exact: before any old block is touched, the full
+// move — file, codes, staged-block list — is journaled as a
+// TranscodeIntent inside the manifest, and each destructive phase
+// advances the journal state first. A process killed at any point
+// leaves a store that Open's recovery pass (see Recover) rolls
+// forward to the new code or back to the old one, with the file
+// byte-identical either way.
 func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	s.tcMu.Lock()
 	defer s.tcMu.Unlock()
@@ -71,33 +80,75 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 		return rep, err
 	}
 	stripeCount := newCC.striper.StripeCount(len(data))
+	if err := s.kill("staged"); err != nil {
+		return rep, err // simulated crash: orphan .tc blocks, no journal record
+	}
 
-	// Point of no return: with readers excluded, drop the old
-	// replicas, promote the staged ones, record the new code.
+	// Journal the intent before any destructive step, with readers
+	// excluded. From here on a crash is recovered from the journal, so
+	// failure paths must NOT clean up staged blocks.
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if pending := s.manifest.Journal; pending != nil {
+		// A previous transcode failed between journaling its intent
+		// and committing (e.g. ENOSPC mid-swap). Its record is the
+		// only recovery map for that file — never overwrite it; make
+		// the caller run Recover first.
+		removeAll(staged)
+		return rep, fmt.Errorf("hdfsraid: transcode of %q pending in journal; run Recover before new transcodes", pending.File)
+	}
 	if cur := s.manifest.Files[name]; cur != fi {
 		removeAll(staged)
 		return rep, fmt.Errorf("hdfsraid: file %q changed during transcode", name)
 	}
-	oldP := oldCC.code.Placement()
-	for i := 0; i < fi.Stripes; i++ {
-		for sym := 0; sym < oldCC.code.Symbols(); sym++ {
-			for _, v := range oldP.SymbolNodes[sym] {
-				if err := os.Remove(s.blockPath(v, name, i, sym)); err == nil {
-					rep.BlocksRemoved++
-				}
-			}
-		}
+	// The journal needs registry names (fileCodec keys), not the
+	// codes' display names.
+	fromName := fi.Code
+	if fromName == "" {
+		fromName = s.manifest.CodeName
+	}
+	in := &TranscodeIntent{
+		File: name, From: fromName, To: codeName,
+		Length: fi.Length, OldStripes: fi.Stripes, NewStripes: stripeCount,
+		State: IntentStaged,
 	}
 	for _, path := range staged {
-		if err := os.Rename(path+tmpSuffix, path); err != nil {
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			removeAll(staged)
 			return rep, err
 		}
-		rep.BlocksWritten++
+		in.Staged = append(in.Staged, rel)
 	}
+	s.manifest.Journal = in
+	if err := s.saveManifest(); err != nil {
+		s.manifest.Journal = nil
+		removeAll(staged)
+		return rep, err
+	}
+	if err := s.kill("intent"); err != nil {
+		return rep, err // simulated crash: journal in IntentStaged
+	}
+
+	// Point of no return: mark the swap begun (so recovery always
+	// rolls forward past here), drop the old replicas, promote the
+	// staged ones, then commit the new code and clear the journal.
+	in.State = IntentSwapping
+	if err := s.saveManifest(); err != nil {
+		return rep, err // journal survives; recovery finishes the move
+	}
+	swap, err := s.completeSwap(in) // calls kill("midswap") after the first rename
+	if err != nil {
+		return rep, err
+	}
+	rep.BlocksRemoved = swap.removed
+	rep.BlocksWritten = swap.renamed
 	rep.Stripes = stripeCount
+	if err := s.kill("swapped"); err != nil {
+		return rep, err // simulated crash: swap done, commit pending
+	}
 	s.manifest.Files[name] = FileInfo{Length: fi.Length, Stripes: stripeCount, Code: codeName}
+	s.manifest.Journal = nil
 	return rep, s.saveManifest()
 }
 

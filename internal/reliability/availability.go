@@ -8,8 +8,8 @@ import (
 	"repro/internal/core"
 )
 
-// Availability quantifies the paper's first motivation for inherent
-// replication (Section 1): transient node failures are the norm, and a
+// AvailabilityResult quantifies the paper's first motivation for
+// inherent replication (Section 1): transient failures are the norm, a
 // stripe is unavailable whenever the current failure pattern is
 // undecodable. With nodes independently up with probability
 // a = MTTF/(MTTF+MTTR), the stripe unavailability is

@@ -98,6 +98,25 @@ func (t *ClusterTarget) Transcode(name, codeName string) (int, error) {
 	return t.BlocksPerFile + physicalBlocks(moved.file), nil
 }
 
+// MoveCost prices a move without re-placing the file: the same
+// read-plus-write block bill Transcode would report.
+func (t *ClusterTarget) MoveCost(name, codeName string) (int, error) {
+	pf, ok := t.files[name]
+	if !ok {
+		return 0, fmt.Errorf("tier: no such file %q", name)
+	}
+	if pf.codeName == codeName {
+		return 0, nil
+	}
+	c, err := core.New(codeName)
+	if err != nil {
+		return 0, err
+	}
+	k := c.DataSymbols()
+	stripes := (t.BlocksPerFile + k - 1) / k
+	return t.BlocksPerFile + stripes*c.Placement().TotalBlocks(), nil
+}
+
 // physicalBlocks counts the block replicas a placed file occupies.
 func physicalBlocks(f *cluster.File) int {
 	return len(f.StripeNodes) * f.Code.Placement().TotalBlocks()

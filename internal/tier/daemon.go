@@ -1,0 +1,316 @@
+package tier
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a deterministic token-bucket rate limiter over
+// caller-supplied float-second time, so the same code meters
+// wall-clock daemons and virtual-clock simulations. Tokens refill at
+// rate per second up to burst; Settle may drive the balance negative
+// when an actual cost exceeds its estimate, which simply pushes the
+// next admission further out — the long-run rate stays bounded.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   float64 // time of last refill
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/sec up
+// to burst.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+func (b *TokenBucket) refill(now float64) {
+	if now > b.last {
+		b.tokens += (now - b.last) * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// Burst returns the bucket's depth.
+func (b *TokenBucket) Burst() float64 { return b.burst }
+
+// Take withdraws n tokens at time now if the balance covers them,
+// reporting whether the withdrawal happened.
+func (b *TokenBucket) Take(now, n float64) bool {
+	b.refill(now)
+	if n > b.tokens {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Settle adjusts the balance by the difference between an actual cost
+// and the estimate already taken for it (positive delta withdraws
+// more, possibly below zero; negative refunds).
+func (b *TokenBucket) Settle(now, delta float64) {
+	b.refill(now)
+	b.tokens -= delta
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Available returns the token balance at time now.
+func (b *TokenBucket) Available(now float64) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// MoveCoster is implemented by targets that can price a move without
+// performing it, in block units. The daemon uses it to admission-check
+// moves against its byte budget before any data moves; targets without
+// it are metered after the fact, which can overshoot the budget by at
+// most one move.
+type MoveCoster interface {
+	MoveCost(name, codeName string) (blocks int, err error)
+}
+
+// DaemonConfig parameterizes the background rebalance daemon.
+type DaemonConfig struct {
+	// Interval is the seconds between rebalance scans (> 0).
+	Interval float64
+	// BytesPerSec caps the daemon's transcode traffic; 0 disables
+	// rate limiting.
+	BytesPerSec float64
+	// Burst is the token-bucket depth in bytes; zero defaults to one
+	// Interval's worth of budget. A move costing more than the burst
+	// is admitted only from a full bucket and drives the balance
+	// negative, so oversized moves still happen (no starvation) while
+	// the debt keeps the long-run rate at BytesPerSec.
+	Burst float64
+	// BlockBytes converts the target's block-unit move costs to bytes
+	// (required when BytesPerSec > 0).
+	BlockBytes int
+	// Now supplies the clock for Start-driven ticks; defaults to wall
+	// time in seconds. Simulations bypass it by calling Tick directly.
+	Now func() float64
+}
+
+// DaemonStats counts what the daemon has done so far.
+type DaemonStats struct {
+	Ticks      int
+	Moves      int
+	Promotions int
+	Demotions  int
+	// Deferred counts moves the policy wanted that a tick pushed to a
+	// later scan because the byte budget was exhausted.
+	Deferred int
+	// BytesMoved is the transcode traffic executed, in bytes.
+	BytesMoved float64
+	// Errors counts ticks that failed; the daemon keeps running and
+	// retries on the next scan.
+	Errors int
+}
+
+// Daemon is the autonomous tier rebalancer: a background goroutine
+// that scans the policy every Interval seconds and executes the moves
+// it wants, hottest file first, under a token-bucket byte budget so
+// transcode traffic never starves foreground reads. Moves that do not
+// fit the remaining budget are deferred to a later scan rather than
+// dropped. HotRAP and Anna both argue tier movement belongs in exactly
+// this kind of continuously running, rate-limited background process
+// instead of on the caller's thread.
+type Daemon struct {
+	// OnMove, when non-nil, observes every executed move with the
+	// clock time it ran. The simulator hooks it to charge transcode
+	// traffic to the shared network model. Set it before Start.
+	OnMove func(mv MoveResult, now float64)
+
+	// OnTick, when non-nil, runs at the start of every scan, before
+	// the policy decides. Long-lived daemons over one-shot CLI stores
+	// use it to refresh tracker heat from disk. Set it before Start.
+	OnTick func(now float64)
+
+	m      *Manager
+	cfg    DaemonConfig
+	bucket *TokenBucket
+
+	mu      sync.Mutex
+	stats   DaemonStats
+	lastErr error
+
+	runMu   sync.Mutex
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	running bool
+}
+
+// NewDaemon validates the config and returns a stopped daemon for the
+// manager. Drive it with Start/Stop on the wall clock, or call Tick
+// directly from a simulation's virtual clock.
+func NewDaemon(m *Manager, cfg DaemonConfig) (*Daemon, error) {
+	if m == nil {
+		return nil, fmt.Errorf("tier: daemon needs a manager")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("tier: daemon interval must be positive, got %v", cfg.Interval)
+	}
+	if cfg.BytesPerSec < 0 || cfg.Burst < 0 {
+		return nil, fmt.Errorf("tier: negative daemon budget")
+	}
+	d := &Daemon{m: m, cfg: cfg}
+	if cfg.BytesPerSec > 0 {
+		if cfg.BlockBytes <= 0 {
+			return nil, fmt.Errorf("tier: rate-limited daemon needs BlockBytes to price moves")
+		}
+		burst := cfg.Burst
+		if burst == 0 {
+			burst = cfg.BytesPerSec * cfg.Interval
+		}
+		d.bucket = NewTokenBucket(cfg.BytesPerSec, burst)
+	}
+	if d.cfg.Now == nil {
+		d.cfg.Now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	}
+	return d, nil
+}
+
+// Tick runs one rebalance scan at time now: ask the policy for moves,
+// order them hottest first, and execute while the byte budget lasts.
+// It returns the moves executed this scan. Simulations call it from
+// the engine's virtual clock; Start calls it from the wall clock.
+func (d *Daemon) Tick(now float64) ([]MoveResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Ticks++
+	if d.OnTick != nil {
+		d.OnTick(now)
+	}
+	moves := d.m.Policy.Decide(now, d.m.States(now))
+	orderMoves(moves)
+	var done []MoveResult
+	for i, mv := range moves {
+		var est float64
+		if d.bucket != nil {
+			if coster, ok := d.m.Target.(MoveCoster); ok {
+				blocks, err := coster.MoveCost(mv.Name, mv.To)
+				if err != nil {
+					d.stats.Errors++
+					d.lastErr = err
+					return done, fmt.Errorf("tier: pricing %q -> %s: %w", mv.Name, mv.To, err)
+				}
+				est = float64(blocks * d.cfg.BlockBytes)
+			}
+			admitted := d.bucket.Take(now, est)
+			if !admitted && est > d.bucket.Burst() && d.bucket.Available(now) >= d.bucket.Burst() {
+				// The move can never fit the bucket: admit it from a
+				// full bucket into debt, so oversized moves are paced
+				// by the refill rate instead of starving forever.
+				d.bucket.Settle(now, est)
+				admitted = true
+			}
+			if !admitted {
+				// Out of budget: defer this and everything colder to a
+				// later scan — hottest-first order is strict.
+				d.stats.Deferred += len(moves) - i
+				break
+			}
+		}
+		res, err := d.m.execute(mv, now)
+		if err != nil {
+			if d.bucket != nil {
+				d.bucket.Settle(now, -est) // refund the unexecuted move
+			}
+			d.stats.Errors++
+			d.lastErr = err
+			return done, err
+		}
+		actual := float64(res.BlocksMoved * d.cfg.BlockBytes)
+		if d.bucket != nil {
+			d.bucket.Settle(now, actual-est)
+		}
+		d.stats.Moves++
+		if mv.Promote {
+			d.stats.Promotions++
+		} else {
+			d.stats.Demotions++
+		}
+		d.stats.BytesMoved += actual
+		if d.OnMove != nil {
+			d.OnMove(res, now)
+		}
+		done = append(done, res)
+	}
+	return done, nil
+}
+
+// Start launches the background rebalance goroutine, ticking every
+// Interval seconds of wall time until Stop. Tick errors are recorded
+// (see Stats, Err) and the loop keeps running. Starting a running
+// daemon is an error.
+func (d *Daemon) Start() error {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	if d.running {
+		return fmt.Errorf("tier: daemon already running")
+	}
+	d.running = true
+	d.stopCh = make(chan struct{})
+	d.doneCh = make(chan struct{})
+	go d.loop(d.stopCh, d.doneCh)
+	return nil
+}
+
+func (d *Daemon) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(time.Duration(d.cfg.Interval * float64(time.Second)))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			d.Tick(d.cfg.Now()) // errors land in stats/lastErr; keep running
+		}
+	}
+}
+
+// Stop halts the background goroutine and waits for any in-flight
+// scan to finish. Stopping a stopped daemon is a no-op.
+func (d *Daemon) Stop() {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	if !d.running {
+		return
+	}
+	close(d.stopCh)
+	<-d.doneCh
+	d.running = false
+}
+
+// Stats returns a snapshot of the daemon's counters.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Err returns the most recent tick error, if any.
+func (d *Daemon) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastErr
+}
+
+// orderMoves sorts moves hottest file first (ties by name), so the
+// files foreground traffic cares about most change tier soonest when
+// a budget or an error cuts a scan short.
+func orderMoves(moves []Move) {
+	sort.SliceStable(moves, func(i, j int) bool {
+		if moves[i].Heat != moves[j].Heat {
+			return moves[i].Heat > moves[j].Heat
+		}
+		return moves[i].Name < moves[j].Name
+	})
+}

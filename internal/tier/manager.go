@@ -122,21 +122,38 @@ func (m *Manager) States(now float64) []FileState {
 	return states
 }
 
+// execute performs one decided move — the single funnel both
+// Rebalance and the background Daemon run transcodes through — and
+// records the move time for the dwell guard.
+func (m *Manager) execute(mv Move, now float64) (MoveResult, error) {
+	moved, err := m.Target.Transcode(mv.Name, mv.To)
+	if err != nil {
+		return MoveResult{}, fmt.Errorf("tier: moving %q to %s: %w", mv.Name, mv.To, err)
+	}
+	m.lastMove[mv.Name] = now
+	return MoveResult{Move: mv, BlocksMoved: moved}, nil
+}
+
 // Rebalance asks the policy for moves at time now and executes them by
-// online transcoding. It stops at the first transcode error, returning
-// the moves already made. Against the on-disk store, each move runs
-// through the store's streaming transcode pipeline (parallel stripe
-// decode, pooled buffers, encode overlapped with staging writes), so
-// steady-state rebalance traffic stays off the allocator's back.
+// online transcoding, hottest file first, so the files foreground
+// traffic cares about most are repaired onto their target tier before
+// colder ones — and before any error cuts the pass short. It stops at
+// the first transcode error, returning the moves already made. Against
+// the on-disk store, each move runs through the store's streaming
+// transcode pipeline (parallel stripe decode, pooled buffers, encode
+// overlapped with staging writes), so steady-state rebalance traffic
+// stays off the allocator's back. For a continuously running,
+// rate-limited alternative, see Daemon.
 func (m *Manager) Rebalance(now float64) ([]MoveResult, error) {
+	moves := m.Policy.Decide(now, m.States(now))
+	orderMoves(moves)
 	var done []MoveResult
-	for _, mv := range m.Policy.Decide(now, m.States(now)) {
-		moved, err := m.Target.Transcode(mv.Name, mv.To)
+	for _, mv := range moves {
+		res, err := m.execute(mv, now)
 		if err != nil {
-			return done, fmt.Errorf("tier: moving %q to %s: %w", mv.Name, mv.To, err)
+			return done, err
 		}
-		m.lastMove[mv.Name] = now
-		done = append(done, MoveResult{Move: mv, BlocksMoved: moved})
+		done = append(done, res)
 	}
 	return done, nil
 }
@@ -159,4 +176,18 @@ func (t StoreTarget) Transcode(name, codeName string) (int, error) {
 		return 0, err
 	}
 	return rep.DataBlocksRead + rep.BlocksWritten, nil
+}
+
+// MoveCost prices a move without performing it, in block units, so the
+// rate-limited daemon can admission-check against its byte budget.
+func (t StoreTarget) MoveCost(name, codeName string) (int, error) {
+	fi, ok := t.Store.Info(name)
+	if !ok {
+		return 0, fmt.Errorf("tier: no such file %q", name)
+	}
+	from, _ := t.Store.FileCode(name)
+	if from == codeName {
+		return 0, nil
+	}
+	return t.Store.TranscodeCost(fi.Length, from, codeName)
 }

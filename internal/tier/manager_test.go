@@ -109,6 +109,42 @@ func TestManagerPromoteDemoteOnDisk(t *testing.T) {
 	}
 }
 
+// TestRebalanceHotFilesFirst is the regression test for move
+// ordering: when one pass wants several transcodes, the hottest file
+// must move first, so an error or budget cutoff mid-pass strands only
+// the coldest candidates (ROADMAP "tiering-aware repair scheduling").
+func TestRebalanceHotFilesFirst(t *testing.T) {
+	ft := newFakeTarget(1, map[string]string{
+		"a-cool": "rs-14-10", "m-blazing": "rs-14-10", "z-warm": "rs-14-10",
+		"hot-already": "pentagon",
+	})
+	tr := NewTracker(0)
+	tr.TouchN("a-cool", 6, 0)
+	tr.TouchN("m-blazing", 30, 0)
+	tr.TouchN("z-warm", 12, 0)
+	// hot-already is cold and on the hot code: it demotes, last.
+	m, err := NewManager(ft, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := m.Rebalance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m-blazing", "z-warm", "a-cool", "hot-already"}
+	if len(moves) != len(want) {
+		t.Fatalf("moves = %+v, want %d", moves, len(want))
+	}
+	for i, name := range want {
+		if ft.calls[i] != name {
+			t.Fatalf("execution order = %v, want %v", ft.calls, want)
+		}
+		if moves[i].Name != name {
+			t.Fatalf("reported order = %+v, want %v", moves, want)
+		}
+	}
+}
+
 func TestManagerRejectsBadPolicy(t *testing.T) {
 	if _, err := NewManager(nil, Policy{}, NewTracker(1)); err == nil {
 		t.Fatal("accepted empty policy")

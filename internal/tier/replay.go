@@ -14,6 +14,7 @@ type ReplayStats struct {
 	Promotions  int
 	Demotions   int
 	BlocksMoved int // transcode traffic, block units
+	Deferred    int // moves pushed to later scans by the daemon's byte budget
 	Moves       []MoveResult
 }
 
@@ -63,17 +64,75 @@ func Replay(eng *sim.Engine, trace []workload.Access, m *Manager,
 			if err != nil {
 				fail(err)
 			}
-			for _, mv := range moves {
-				if mv.Promote {
-					stats.Promotions++
-				} else {
-					stats.Demotions++
-				}
-				stats.BlocksMoved += mv.BlocksMoved
-				stats.Moves = append(stats.Moves, mv)
-			}
+			stats.record(moves)
 		})
 	}
 	eng.Run()
+	return stats, firstErr
+}
+
+func (s *ReplayStats) record(moves []MoveResult) {
+	for _, mv := range moves {
+		if mv.Promote {
+			s.Promotions++
+		} else {
+			s.Demotions++
+		}
+		s.BlocksMoved += mv.BlocksMoved
+		s.Moves = append(s.Moves, mv)
+	}
+}
+
+// ReplayDaemon is Replay with the background rebalance daemon in the
+// loop instead of caller-driven Rebalance: the daemon's Tick runs on
+// the engine's virtual clock every cfg.Interval seconds, so its
+// token-bucket byte budget, hottest-first ordering and deferrals are
+// all exercised against the trace. The daemon's OnMove hook (set it
+// before calling) lets the caller charge transcode traffic to a
+// simulated network, modeling rebalance contending with foreground
+// reads on the shared LAN.
+func ReplayDaemon(eng *sim.Engine, trace []workload.Access, d *Daemon,
+	onAccess func(name string, now float64) error) (ReplayStats, error) {
+	var stats ReplayStats
+	if len(trace) == 0 {
+		return stats, nil
+	}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, a := range trace {
+		a := a
+		eng.At(a.Time, func() {
+			if firstErr != nil {
+				return
+			}
+			stats.Accesses++
+			d.m.OnRead(a.Name, eng.Now())
+			if onAccess != nil {
+				if err := onAccess(a.Name, eng.Now()); err != nil {
+					fail(err)
+				}
+			}
+		})
+	}
+	end := trace[len(trace)-1].Time
+	for t := d.cfg.Interval; t <= end; t += d.cfg.Interval {
+		eng.At(t, func() {
+			if firstErr != nil {
+				return
+			}
+			stats.Rebalances++
+			moves, err := d.Tick(eng.Now())
+			if err != nil {
+				fail(err)
+			}
+			stats.record(moves)
+		})
+	}
+	eng.Run()
+	stats.Deferred = d.Stats().Deferred
 	return stats, firstErr
 }

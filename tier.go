@@ -51,6 +51,35 @@ func NewTierManager(s *Store, policy TierPolicy, tracker *HeatTracker) (*TierMan
 // TranscodeReport summarizes one online transcode between codes.
 type TranscodeReport = hdfsraid.TranscodeReport
 
+// TranscodeIntent is the crash-recovery journal record of an
+// in-flight transcode, persisted in the store manifest before any
+// destructive swap step.
+type TranscodeIntent = hdfsraid.TranscodeIntent
+
+// RecoverReport summarizes the journal recovery pass OpenStore runs:
+// interrupted transcodes replayed or rolled back, orphan staged
+// blocks swept.
+type RecoverReport = hdfsraid.RecoverReport
+
+// TierDaemon is the autonomous background rebalancer: it scans the
+// tiering policy on an interval and executes moves hottest file
+// first under a token-bucket transcode byte budget.
+type TierDaemon = tier.Daemon
+
+// TierDaemonConfig parameterizes the rebalance daemon's scan interval
+// and byte budget.
+type TierDaemonConfig = tier.DaemonConfig
+
+// TierDaemonStats counts the daemon's scans, moves, deferrals and
+// bytes moved.
+type TierDaemonStats = tier.DaemonStats
+
+// NewTierDaemon returns a stopped rebalance daemon for the manager;
+// drive it with Start/Stop on the wall clock or Tick on a virtual one.
+func NewTierDaemon(m *TierManager, cfg TierDaemonConfig) (*TierDaemon, error) {
+	return tier.NewDaemon(m, cfg)
+}
+
 // TierClusterTarget tiers files over the simulated cluster placement
 // instead of disk, for large experiments (see cmd/tiersim).
 type TierClusterTarget = tier.ClusterTarget
