@@ -27,8 +27,10 @@ import (
 )
 
 // defaultBench selects the coding hot-path benchmarks: the gf256
-// kernels, full-file encode, the read paths and the transcode cycle.
-const defaultBench = "MulAddSlice|MulSlice|XorSlice|EncodePentagon$|EncodeHeptagonLocal$|EncodeRS1410$|EncodeFileConcurrent$|ReadFile$|ReadBlockInto$|ReadBlockDegraded$|TranscodeRSToPentagon$|TranscodeRSToHeptagonLocal$|DecodePentagonTwoErasures$|DecodeHeptagonLocalThreeErasures$"
+// kernels, full-file encode, the read paths, the transcode cycle (the
+// streaming and parallel tier-move pipelines included) and the pooled
+// repair path.
+const defaultBench = "MulAddSlice|MulSlice|XorSlice|EncodePentagon$|EncodeHeptagonLocal$|EncodeRS1410$|EncodeFileConcurrent$|ReadFile$|ReadBlockInto$|ReadBlockDegraded$|TranscodeRSToPentagon$|TranscodeRSToHeptagonLocal$|TranscodeStreaming$|TranscodeParallel$|RepairPooled$|DecodePentagonTwoErasures$|DecodeHeptagonLocalThreeErasures$"
 
 var defaultPkgs = []string{".", "./internal/gf256"}
 

@@ -1,8 +1,9 @@
 // Command hdfscli drives the on-disk miniature HDFS-RAID store: create
 // a store for any registered code, put/get files, kill nodes, repair
-// them with the code's partial-parity plans, fsck the block inventory,
-// and tier files between hot and cold codes by decayed access heat
-// (every get feeds a tracker persisted beside the manifest).
+// them with the code's partial-parity plans (hottest files first, fed
+// by the persisted heat counters), fsck the block inventory, and tier
+// files between hot and cold codes by decayed access heat (every get
+// feeds a tracker persisted beside the manifest).
 //
 // Usage:
 //
@@ -15,7 +16,7 @@
 //	hdfscli -store DIR fsck
 //	hdfscli -store DIR tier status
 //	hdfscli -store DIR tier set NAME CODE
-//	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S]
+//	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
 //	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-duration S] [rebalance flags]
 //
 // Every command Opens the store, which replays or rolls back any
@@ -200,6 +201,14 @@ func doNodes(store string, args []string, op string) error {
 		fmt.Printf("killed nodes %v\n", nodes)
 		return nil
 	}
+	// Repair hot files first: the persisted heat counters give the
+	// store the same ordering signal the rebalance daemon uses.
+	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	if err != nil {
+		return err
+	}
+	now := nowSeconds()
+	s.Heat = func(name string) float64 { return tr.Heat(name, now) }
 	rep, err := s.Repair(nodes)
 	if err != nil {
 		return err
@@ -275,6 +284,7 @@ func doTierRebalance(store string, args []string) error {
 	promote := fs.Float64("promote", 5, "promote at this decayed heat")
 	demote := fs.Float64("demote", 1, "demote at or below this decayed heat")
 	dwell := fs.Float64("dwell", 0, "min seconds between moves of one file")
+	workers := fs.Int("workers", 1, "concurrent transcodes (moves of distinct files)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -293,6 +303,7 @@ func doTierRebalance(store string, args []string) error {
 	if err != nil {
 		return err
 	}
+	m.MoveWorkers = *workers
 	if err := m.LoadLastMoves(movesPath(store)); err != nil {
 		return err
 	}

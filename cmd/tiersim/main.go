@@ -8,10 +8,12 @@
 // Tier moves are executed by the background rebalance daemon on the
 // simulation's virtual clock, and both the degraded-read fetches and
 // the daemon's transcode traffic flow through the shared store-and-
-// forward LAN model — so rebalance bursts visibly delay foreground
-// reads, and the -budget flag shows how the daemon's token-bucket
-// rate limit trades slower convergence for quieter reads (the
-// "deferred" column counts moves pushed to later scans).
+// forward LAN model. Under a -budget the daemon paces each admitted
+// move's bytes over a transfer window at the budget rate (see
+// tier.MoveResult.Start/Duration), so rebalance traffic trickles
+// across the LAN and interleaves with foreground reads chunk by chunk
+// instead of bursting at tick time; the "deferred" column counts
+// moves pushed to later scans by the byte budget.
 //
 // Usage:
 //
@@ -145,9 +147,26 @@ func main() {
 			}
 		}
 		d.OnMove = func(mv tier.MoveResult, now float64) {
-			for b := 0; b < mv.BlocksMoved; b++ {
-				src := live[nrng.Intn(len(live))]
-				net.Transfer(src, pick(src), blockBytes, func() {})
+			// Transfer-level pacing: the daemon books each admitted
+			// move a window [Start, Start+Duration] at its budget
+			// rate, and the move's bytes cross the LAN as a paced
+			// chunk stream inside that window — so degraded reads
+			// interleave with rebalance traffic chunk by chunk
+			// instead of queueing behind a tick-time burst. With no
+			// budget the window is empty and the move degenerates to
+			// the old burst.
+			bytes := float64(mv.BlocksMoved) * blockBytes
+			var rate float64
+			if mv.Duration > 0 {
+				rate = bytes / mv.Duration
+			}
+			src := live[nrng.Intn(len(live))]
+			dst := pick(src)
+			launch := func() { net.TransferPaced(src, dst, bytes, blockBytes, rate, func() {}) }
+			if mv.Start > eng.Now() {
+				eng.At(mv.Start, launch)
+			} else {
+				launch()
 			}
 		}
 

@@ -107,6 +107,82 @@ func (st *Striper) EncodeStream(data []byte, workers int, pool *BlockPool, emit 
 	return nil
 }
 
+// EncodeStreamFrom is EncodeStream for sources that cannot (or should
+// not) materialize the whole file: instead of a data buffer it takes a
+// fill callback that produces one stripe's k data blocks on demand.
+// Each worker owns k pooled block buffers that it reuses across every
+// stripe it encodes, so peak memory is O(workers × stripe), independent
+// of the stream length — the property the streaming transcode path is
+// built on.
+//
+// fill is called concurrently from the workers, once per stripe in
+// [0, count), with blocks already sized to the pool's block size; it
+// must fully overwrite every block (zeroing any tail padding itself)
+// and must not retain the slices. emit has the same contract as in
+// EncodeStream. A non-nil error from fill, encode or emit cancels the
+// stream and is returned after the workers drain.
+func (st *Striper) EncodeStreamFrom(count, workers int, pool *BlockPool,
+	fill func(stripe int, blocks [][]byte) error, emit func(EncodedStripe) error) error {
+	if count == 0 {
+		return nil
+	}
+	if pool == nil {
+		pool = NewBlockPool(st.BlockSize)
+	} else if pool.Size() != st.BlockSize {
+		return fmt.Errorf("core: encode stream pool size %d != block size %d", pool.Size(), st.BlockSize)
+	}
+	workers = clampWorkers(workers, count)
+	k := st.Code.DataSymbols()
+
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blocks := make([][]byte, k)
+			for j := range blocks {
+				blocks[j] = pool.Get()
+			}
+			defer func() {
+				for _, b := range blocks {
+					pool.Put(b)
+				}
+			}()
+			for i := w; i < count && !failed.Load(); i += workers {
+				err := fill(i, blocks)
+				if err != nil {
+					err = fmt.Errorf("core: filling stripe %d: %w", i, err)
+				} else {
+					var symbols [][]byte
+					var release func()
+					symbols, release, err = EncodeWith(st.Code, pool, blocks)
+					if err != nil {
+						err = fmt.Errorf("core: encoding stripe %d: %w", i, err)
+					} else {
+						err = emit(EncodedStripe{Index: i, Symbols: symbols})
+						release()
+					}
+				}
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func clampWorkers(workers, jobs int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

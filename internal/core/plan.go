@@ -137,10 +137,13 @@ func ExecuteRepair(nc NodeContents, plan *RepairPlan, blockSize int) error {
 }
 
 // ExecuteRepairPooled is ExecuteRepair drawing the plan's intermediate
-// transfer payloads from pool (which must match blockSize), recycling
-// them before returning — the allocation-free path for bulk repairs
-// that execute one plan per stripe. Recovered symbols installed into nc
-// are always freshly allocated; only the transient payloads are pooled.
+// transfer payloads AND recovered symbol blocks from pool (which must
+// match blockSize) — the allocation-free path for bulk repairs that
+// execute one plan per stripe. Transient payloads and scratch symbols
+// are recycled before returning; recovered symbols installed into nc
+// come from the pool, so the caller must Put each one back once it has
+// been persisted (and must not reuse nc afterwards). With a nil pool
+// every buffer is freshly allocated and nothing is recycled.
 func ExecuteRepairPooled(nc NodeContents, plan *RepairPlan, blockSize int, pool *BlockPool) error {
 	payloads := make([][]byte, len(plan.Transfers))
 	if pool != nil {
@@ -169,7 +172,7 @@ func ExecuteRepairPooled(nc NodeContents, plan *RepairPlan, blockSize int, pool 
 			if doneR[i] || !sourcesDelivered(doneT, rec.Sources) {
 				continue
 			}
-			b, err := combine(payloads, rec.Sources, rec.Coeffs, blockSize)
+			b, err := combinePooled(payloads, rec.Sources, rec.Coeffs, blockSize, pool)
 			if err != nil {
 				return fmt.Errorf("recovery of symbol %d at node %d: %w", rec.Symbol, rec.Node, err)
 			}
@@ -192,6 +195,9 @@ func ExecuteRepairPooled(nc NodeContents, plan *RepairPlan, blockSize int, pool 
 	}
 	for _, rec := range plan.Recoveries {
 		if rec.Scratch {
+			if pool != nil {
+				pool.Put(nc[rec.Node][rec.Symbol])
+			}
 			delete(nc[rec.Node], rec.Symbol)
 		}
 	}
@@ -286,13 +292,22 @@ func evalTermsPooled(node map[int][]byte, terms []Term, blockSize int, pool *Blo
 }
 
 func combine(payloads [][]byte, sources []int, coeffs []byte, blockSize int) ([]byte, error) {
+	return combinePooled(payloads, sources, coeffs, blockSize, nil)
+}
+
+func combinePooled(payloads [][]byte, sources []int, coeffs []byte, blockSize int, pool *BlockPool) ([]byte, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("empty source list")
 	}
 	if coeffs != nil && len(coeffs) != len(sources) {
 		return nil, fmt.Errorf("coeffs length %d != sources length %d", len(coeffs), len(sources))
 	}
-	out := make([]byte, blockSize)
+	var out []byte
+	if pool != nil {
+		out = pool.GetZero()
+	} else {
+		out = make([]byte, blockSize)
+	}
 	for i, si := range sources {
 		c := byte(1)
 		if coeffs != nil {

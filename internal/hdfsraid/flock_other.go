@@ -1,0 +1,24 @@
+//go:build !unix
+
+package hdfsraid
+
+import "os"
+
+// Without flock(2) there is no way to tell a live mover in another
+// process from a dead one, and the two failure modes pull opposite
+// ways: pretending the lock was won risks sweeping a live move's
+// staged blocks, while always standing down means crash residue is
+// never recovered and a half-swapped file never heals. Crash recovery
+// is the store's core durability promise and single-process use is
+// the norm, so these stubs grant the lock: on non-flock platforms a
+// store directory must not be opened by two processes at once.
+
+// flockLock is a no-op where flock(2) is unavailable.
+func flockLock(*os.File, bool) error { return nil }
+
+// flockTry always succeeds where flock(2) is unavailable (see the
+// package note above on the single-process assumption).
+func flockTry(*os.File) (bool, error) { return true, nil }
+
+// flockUnlock is the matching no-op release.
+func flockUnlock(*os.File) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package hdfsraid
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockLock takes the advisory lock on f — shared for an in-flight
+// tier move, exclusive for the journal recovery pass — blocking until
+// compatible. The kernel drops flocks when a process dies, so crash
+// residue never wedges recovery.
+func flockLock(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	return syscall.Flock(int(f.Fd()), how)
+}
+
+// flockTry attempts the exclusive advisory lock without blocking. A
+// false return means another live process holds the lock.
+func flockTry(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// flockUnlock releases the advisory lock on f.
+func flockUnlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

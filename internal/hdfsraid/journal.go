@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 )
 
 // IntentState is the journal state of an in-flight transcode. The
@@ -35,10 +34,14 @@ const (
 )
 
 // TranscodeIntent is the journal record of one in-flight transcode,
-// persisted inside the manifest before any destructive step so that
-// recovery after a crash is exact. Staged paths are root-relative
-// final block paths; the staged copy of each lives at path+".tc"
-// until the swap renames it into place.
+// persisted inside the manifest's journal queue before any destructive
+// step so that recovery after a crash is exact. The queue holds one
+// entry per in-flight move (at most one per file — per-file locking
+// enforces that), so any number of moves of distinct files can be
+// mid-flight when a process dies and Recover replays or rolls back
+// every one of them. Staged paths are root-relative final block paths;
+// the staged copy of each lives at path+".tc" until the swap renames
+// it into place.
 type TranscodeIntent struct {
 	File       string      `json:"file"`
 	From       string      `json:"from"` // resolved source code name
@@ -65,6 +68,11 @@ type RecoverReport struct {
 	// MissingStaged counts staged blocks a replay could not find in
 	// either staged or final form; the replayed file may need Repair.
 	MissingStaged int
+	// Skipped reports that recovery stood down because another live
+	// process holds the store flock (a move in flight elsewhere): its
+	// journal entries are live moves, not crash residue. The next
+	// quiescent Open or Recover call runs the pass normally.
+	Skipped bool
 }
 
 // Acted reports whether recovery changed anything on disk.
@@ -76,16 +84,50 @@ func (r RecoverReport) Acted() bool {
 // callers (hdfscli fsck, monitoring) can surface crash cleanups.
 func (s *Store) LastRecovery() RecoverReport { return s.recovery }
 
-// Recover replays or rolls back any incomplete transcode recorded in
-// the manifest journal and sweeps orphan staged blocks. Open calls it
-// automatically; it is idempotent and safe on a healthy store.
+// Recover replays or rolls back every incomplete transcode recorded in
+// the manifest's journal queue and sweeps orphan staged blocks. Open
+// calls it automatically; it is idempotent and safe on a healthy
+// store. It takes the store's move path exclusively, so it must not
+// run concurrently with live transcodes — their journal entries
+// describe moves still in progress, not crash residue. In-process the
+// opMu write lock enforces that; across processes the store flock
+// does, by standing recovery down while another live process is
+// moving (see RecoverReport.Skipped).
 func (s *Store) Recover() (RecoverReport, error) {
-	s.tcMu.Lock()
-	defer s.tcMu.Unlock()
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	// A process holding the store flock is mid-move: its staged blocks
+	// and journal entries describe live moves, not crash residue, and
+	// sweeping or replaying them here would corrupt the store — while
+	// blocking would stall every Open behind a slow paced move. A held
+	// flock proves its owner is alive, so skipping is both safe and
+	// cheap; a dead process's flock is released by the kernel, so
+	// genuine crash recovery always gets the lock.
+	ok, err := s.tryLockExclusive()
+	if err != nil {
+		return RecoverReport{}, err
+	}
+	if !ok {
+		return RecoverReport{Skipped: true}, nil
+	}
+	defer s.unlockExclusive()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep RecoverReport
+	// Re-read the manifest now that the lock is held: the snapshot
+	// taken before the flock was granted may predate moves another
+	// process committed while we waited.
+	if err := s.reloadManifest(); err != nil {
+		return rep, err
+	}
+	// Manifests written before the journal became a queue carry a
+	// single-entry field; fold it in so one recovery path serves both.
 	if in := s.manifest.Journal; in != nil {
+		s.manifest.Journal = nil
+		s.manifest.Queue = append(s.manifest.Queue, in)
+	}
+	for len(s.manifest.Queue) > 0 {
+		in := s.manifest.Queue[0]
 		forward := true
 		if in.State == IntentStaged {
 			// The old layout is intact, so rolling back is safe; do so
@@ -112,6 +154,29 @@ func (s *Store) Recover() (RecoverReport, error) {
 	}
 	rep.OrphanBlocks = n
 	return rep, nil
+}
+
+// queuedIntent returns the journal entry for name, if any. Caller
+// holds mu.
+func (s *Store) queuedIntent(name string) *TranscodeIntent {
+	for _, in := range s.manifest.Queue {
+		if in.File == name {
+			return in
+		}
+	}
+	return nil
+}
+
+// removeIntent drops one entry (matched by identity) from the journal
+// queue. Caller holds mu and must save the manifest afterwards.
+func (s *Store) removeIntent(in *TranscodeIntent) {
+	q := s.manifest.Queue
+	for i, e := range q {
+		if e == in {
+			s.manifest.Queue = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
 }
 
 // stagedComplete reports whether every staged .tc block of the intent
@@ -150,7 +215,7 @@ func (s *Store) replayIntent(in *TranscodeIntent) (int, error) {
 		return swap.missing, err
 	}
 	s.manifest.Files[in.File] = FileInfo{Length: in.Length, Stripes: in.NewStripes, Code: in.To}
-	s.manifest.Journal = nil
+	s.removeIntent(in)
 	return swap.missing, s.saveManifest()
 }
 
@@ -161,7 +226,7 @@ func (s *Store) rollbackIntent(in *TranscodeIntent) error {
 	for _, rel := range in.Staged {
 		os.Remove(filepath.Join(s.root, rel) + tmpSuffix)
 	}
-	s.manifest.Journal = nil
+	s.removeIntent(in)
 	return s.saveManifest()
 }
 
@@ -176,7 +241,8 @@ type swapResult struct {
 // journaled transcode: delete every old-layout replica that is not
 // also a final path of the new layout, then rename each staged block
 // into place. Both halves are idempotent, so recovery can re-run the
-// whole thing after a crash at any point. Callers hold mu and tcMu.
+// whole thing after a crash at any point. Callers hold mu plus either
+// the file's move lock (Transcode) or opMu's write side (Recover).
 func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
 	var res swapResult
 	newFinal := make(map[string]bool, len(in.Staged))
@@ -235,9 +301,8 @@ func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
 // references — the residue of a transcode that crashed before its
 // intent was persisted. Caller holds mu.
 func (s *Store) sweepOrphans() (int, error) {
-	var referenced map[string]bool
-	if in := s.manifest.Journal; in != nil {
-		referenced = make(map[string]bool, len(in.Staged))
+	referenced := map[string]bool{}
+	for _, in := range s.manifest.Queue {
 		for _, rel := range in.Staged {
 			referenced[filepath.Join(s.root, rel)+tmpSuffix] = true
 		}
@@ -249,9 +314,6 @@ func (s *Store) sweepOrphans() (int, error) {
 	removed := 0
 	for _, path := range matches {
 		if referenced[path] {
-			continue
-		}
-		if !strings.HasSuffix(path, tmpSuffix) {
 			continue
 		}
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {

@@ -63,8 +63,8 @@ func assertRecovered(t *testing.T, dir string, want []byte, wantCode string) *St
 	if !fsck.Healthy() {
 		t.Fatalf("store unhealthy after recovery: %+v", fsck)
 	}
-	if s.manifest.Journal != nil {
-		t.Fatalf("journal not cleared: %+v", s.manifest.Journal)
+	if s.manifest.Journal != nil || len(s.manifest.Queue) != 0 {
+		t.Fatalf("journal not cleared: %+v / %+v", s.manifest.Journal, s.manifest.Queue)
 	}
 	assertNoStagedBlocks(t, dir)
 	return s
@@ -203,9 +203,10 @@ func TestRecoveryIdempotent(t *testing.T) {
 }
 
 // TestTranscodeRefusesPendingJournal: a transcode that failed between
-// journaling and committing leaves the journal record as the only
-// recovery map; a later transcode must refuse to overwrite it until
-// Recover has run.
+// journaling and committing leaves its journal entry as the only
+// recovery map for that file; a later transcode of the SAME file must
+// refuse to stage over it until Recover has run — while moves of other
+// files proceed, since the queue holds independent entries.
 func TestTranscodeRefusesPendingJournal(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Create(dir, "rs-9-6", blockSize)
@@ -213,10 +214,11 @@ func TestTranscodeRefusesPendingJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := randomFile(t, 9*blockSize, 66)
+	wantG := randomFile(t, 6*blockSize, 67)
 	if err := s.Put("f", want); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("g", randomFile(t, 6*blockSize, 67)); err != nil {
+	if err := s.Put("g", wantG); err != nil {
 		t.Fatal(err)
 	}
 	killAt(s, "midswap") // f's swap "fails" with its journal record live
@@ -224,16 +226,21 @@ func TestTranscodeRefusesPendingJournal(t *testing.T) {
 		t.Fatal("expected simulated crash")
 	}
 	s.killHook = nil
-	if _, err := s.Transcode("g", "pentagon"); err == nil || !strings.Contains(err.Error(), "pending") {
-		t.Fatalf("transcode over a pending journal: err = %v", err)
+	// The same file is frozen until recovery...
+	if _, err := s.Transcode("f", "2-rep"); err == nil || !strings.Contains(err.Error(), "pending") {
+		t.Fatalf("transcode over a pending journal entry: err = %v", err)
+	}
+	// ...but a distinct file's move is not blocked by f's entry.
+	if _, err := s.Transcode("g", "pentagon"); err != nil {
+		t.Fatalf("independent transcode blocked by pending journal: %v", err)
 	}
 	if rec, err := s.Recover(); err != nil || rec.Replayed != 1 {
 		t.Fatalf("recover = %+v, %v", rec, err)
 	}
-	if _, err := s.Transcode("g", "pentagon"); err != nil {
+	if _, err := s.Transcode("f", "2-rep"); err != nil {
 		t.Fatalf("transcode after recover: %v", err)
 	}
-	for name, data := range map[string][]byte{"f": want} {
+	for name, data := range map[string][]byte{"f": want, "g": wantG} {
 		got, err := s.Get(name)
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatalf("%s wrong after pending-journal dance (%v)", name, err)
@@ -294,7 +301,7 @@ func TestJournalPersistedBeforeSwap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"transcode_intent"`, `"from": "rs-9-6"`, `"to": "pentagon"`, `"staged"`} {
+	for _, want := range []string{`"transcode_queue"`, `"from": "rs-9-6"`, `"to": "pentagon"`, `"staged"`} {
 		if !strings.Contains(string(raw), want) {
 			t.Fatalf("durable manifest missing %s:\n%s", want, raw)
 		}

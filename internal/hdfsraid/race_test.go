@@ -1,0 +1,8 @@
+//go:build race
+
+package hdfsraid
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// intentionally drops recycles under -race, so allocation-bound
+// assertions do not hold there.
+const raceEnabled = true

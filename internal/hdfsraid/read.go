@@ -53,6 +53,16 @@ func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (int,
 	if s.OnRead != nil {
 		s.OnRead(name)
 	}
+	return s.readDataBlockInto(dst, cc, name, stripe, symbol)
+}
+
+// readDataBlockInto is the lock-free core of ReadBlockInto: deliver one
+// data block into dst (exactly BlockSize bytes) through a healthy
+// replica or the code's partial-parity read plan, without touching the
+// manifest lock or the heat hook. It is shared by the public block read
+// and the streaming transcode source, whose workers call it
+// concurrently while a sibling move may hold the manifest lock.
+func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, stripe, symbol int) (int, error) {
 	p := cc.code.Placement()
 
 	// One pooled frame serves every block file this read touches.

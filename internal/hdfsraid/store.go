@@ -30,14 +30,18 @@ import (
 )
 
 // Manifest records the store's configuration and file table, plus the
-// transcode journal: at most one in-flight transcode's intent record,
-// persisted before any destructive swap step so crash recovery is
-// exact (see TranscodeIntent).
+// transcode journal: one intent record per in-flight transcode (at
+// most one per file), each persisted before any destructive swap step
+// so crash recovery is exact (see TranscodeIntent).
 type Manifest struct {
 	CodeName  string              `json:"code"`
 	BlockSize int                 `json:"block_size"`
 	Files     map[string]FileInfo `json:"files"`
-	Journal   *TranscodeIntent    `json:"transcode_intent,omitempty"`
+	// Journal is the pre-queue single-entry journal field; Recover
+	// migrates it into Queue so manifests written by older versions
+	// recover identically. Never written anymore.
+	Journal *TranscodeIntent   `json:"transcode_intent,omitempty"`
+	Queue   []*TranscodeIntent `json:"transcode_queue,omitempty"`
 }
 
 // FileInfo records one stored file.
@@ -71,16 +75,52 @@ type Store struct {
 	codecMu sync.Mutex
 	codecs  map[string]codec // per-code cache for tiered files
 
-	// tcMu serializes transcodes: staged .tc block names are derived
-	// from the target layout, so two in-flight moves of one file
-	// would share staging paths.
-	tcMu sync.Mutex
+	// opMu gates the move path against the journal recovery pass:
+	// transcodes hold the read side (any number of moves of distinct
+	// files run concurrently), Recover the write side (it replays
+	// journal entries and must see the move path quiescent).
+	opMu sync.RWMutex
+
+	// lockFile makes one process at a time the store's mover:
+	// transcodes flock it exclusively (refcounted — the flock is per
+	// open file description, so moves of distinct files still run
+	// concurrently inside this process) and the manifest is re-read
+	// when the flock is first taken, so a move never commits a
+	// snapshot predating another process's commits. Recover tries the
+	// same exclusive lock without blocking: a refusal proves a live
+	// mover, so its journal entries and staged blocks are not crash
+	// residue. The fd lives as long as the store; a crashed process's
+	// flock is released by the kernel.
+	lockFile  *os.File
+	flockMu   sync.Mutex
+	flockRefs int
+
+	// moveMu guards moveLocks, the per-file transcode locks that
+	// replaced the old store-wide transcode mutex: moves of distinct
+	// files proceed in parallel, while two moves of one file serialize
+	// (staged .tc block names are derived from the target layout, so
+	// they would share staging paths).
+	moveMu    sync.Mutex
+	moveLocks map[string]*fileLock
+
+	// encodeWorkers counts the encode workers reserved by moves
+	// currently in their streaming phase. Each move reserves what is
+	// left of the GOMAXPROCS budget (always at least one worker), so
+	// N concurrent moves hold at most GOMAXPROCS+N-1 workers — and
+	// that many stripes' pooled buffers — instead of N full pools.
+	encodeWorkers atomic.Int64
 
 	// OnRead, when non-nil, is invoked with the file name on every
 	// Get and ReadBlock access. The tier subsystem hooks it to feed
 	// heat tracking; it must be cheap and non-blocking. Set it before
 	// serving concurrent reads.
 	OnRead func(name string)
+
+	// Heat, when non-nil, reports a file's current access heat. Repair
+	// consults it to rebuild hot files before cold ones, extending the
+	// tier layer's hottest-first move ordering into the repair path.
+	// It must be safe for concurrent use; set it before Repair.
+	Heat func(name string) float64
 
 	// killHook simulates a crash at named points for kill-point tests;
 	// nil in production. See (*Store).kill.
@@ -96,7 +136,115 @@ type codec struct {
 	striper *core.Striper
 }
 
+// fileLock is one entry in the per-file transcode lock table.
+type fileLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockMove acquires the named file's move lock, creating it on demand.
+// Moves of distinct files never contend here.
+func (s *Store) lockMove(name string) {
+	s.moveMu.Lock()
+	l := s.moveLocks[name]
+	if l == nil {
+		l = &fileLock{}
+		s.moveLocks[name] = l
+	}
+	l.refs++
+	s.moveMu.Unlock()
+	l.mu.Lock()
+}
+
+// unlockMove releases the named file's move lock, dropping the table
+// entry once the last holder or waiter is gone.
+func (s *Store) unlockMove(name string) {
+	s.moveMu.Lock()
+	l := s.moveLocks[name]
+	l.mu.Unlock()
+	if l.refs--; l.refs == 0 {
+		delete(s.moveLocks, name)
+	}
+	s.moveMu.Unlock()
+}
+
+// lockStoreForMove marks this process the store's single mover: the
+// first in-process move takes the exclusive flock (waiting out any
+// other process's moves) and re-reads the manifest so this process
+// never commits a snapshot predating another process's commits;
+// further in-process moves just join the refcount and proceed
+// concurrently. Callers hold opMu's read side and no other store
+// locks.
+func (s *Store) lockStoreForMove() error {
+	s.flockMu.Lock()
+	defer s.flockMu.Unlock()
+	if s.flockRefs == 0 && s.lockFile != nil {
+		if err := flockLock(s.lockFile, true); err != nil {
+			return fmt.Errorf("hdfsraid: locking store for move: %w", err)
+		}
+		s.mu.Lock()
+		err := s.reloadManifest()
+		s.mu.Unlock()
+		if err != nil {
+			flockUnlock(s.lockFile)
+			return err
+		}
+	}
+	s.flockRefs++
+	return nil
+}
+
+// unlockStoreForMove releases one move's hold, dropping the flock
+// when the last in-process move finishes.
+func (s *Store) unlockStoreForMove() {
+	s.flockMu.Lock()
+	defer s.flockMu.Unlock()
+	if s.flockRefs--; s.flockRefs == 0 && s.lockFile != nil {
+		flockUnlock(s.lockFile)
+	}
+}
+
+// tryLockExclusive attempts the recovery flock without blocking. A
+// false return means another live process holds the store (a move in
+// flight) — which also means there is no crash residue to recover, so
+// callers skip recovery rather than stall every Open behind a slow
+// paced move. Callers hold opMu's write side, so no shared hold
+// exists in this process.
+func (s *Store) tryLockExclusive() (bool, error) {
+	if s.lockFile == nil {
+		return true, nil
+	}
+	ok, err := flockTry(s.lockFile)
+	if err != nil {
+		return false, fmt.Errorf("hdfsraid: locking store for recovery: %w", err)
+	}
+	return ok, nil
+}
+
+// unlockExclusive releases the recovery flock.
+func (s *Store) unlockExclusive() {
+	if s.lockFile != nil {
+		flockUnlock(s.lockFile)
+	}
+}
+
 const manifestName = "manifest.json"
+
+// lockName is the advisory cross-process lock file beside the
+// manifest (see Store.lockFile).
+const lockName = ".store.lock"
+
+// openLockFile opens (creating if needed) the store's advisory lock
+// file. Failure is fatal to Create/Open: without the lock a recovery
+// pass could sweep another live process's staged blocks — the exact
+// corruption the flock exists to prevent.
+func openLockFile(root string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(root, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hdfsraid: opening store lock: %w", err)
+	}
+	return f, nil
+}
 
 // Create initializes a new store at root for the named code.
 func Create(root, codeName string, blockSize int) (*Store, error) {
@@ -117,8 +265,12 @@ func Create(root, codeName string, blockSize int) (*Store, error) {
 		payloadPool: core.NewBlockPool(blockSize),
 		manifest:    Manifest{CodeName: codeName, BlockSize: blockSize, Files: map[string]FileInfo{}},
 		codecs:      map[string]codec{codeName: {c, st}},
+		moveLocks:   map[string]*fileLock{},
 	}
 	if err := s.ensureNodeDirs(c.Nodes()); err != nil {
+		return nil, err
+	}
+	if s.lockFile, err = openLockFile(root); err != nil {
 		return nil, err
 	}
 	if err := s.saveManifest(); err != nil {
@@ -151,7 +303,11 @@ func Open(root string) (*Store, error) {
 	s := &Store{root: root, code: c, striper: st, manifest: m,
 		framePool:   core.NewBlockPool(m.BlockSize + 4),
 		payloadPool: core.NewBlockPool(m.BlockSize),
-		codecs:      map[string]codec{m.CodeName: {c, st}}}
+		codecs:      map[string]codec{m.CodeName: {c, st}},
+		moveLocks:   map[string]*fileLock{}}
+	if s.lockFile, err = openLockFile(root); err != nil {
+		return nil, err
+	}
 	// Fail fast if the manifest references an unregistered tier code.
 	for name, fi := range m.Files {
 		if _, err := s.fileCodec(fi); err != nil {
@@ -266,6 +422,27 @@ func (s *Store) nodeDir(v int) string {
 
 func (s *Store) blockPath(v int, name string, stripe, symbol int) string {
 	return filepath.Join(s.nodeDir(v), fmt.Sprintf("%s.%d.%d", name, stripe, symbol))
+}
+
+// reloadManifest re-reads the manifest from disk. Recovery calls it
+// after winning the cross-process lock, so its decisions rest on the
+// authoritative on-disk state — another process may have committed
+// moves between this handle's Open-time snapshot and the lock grant.
+// Caller holds mu.
+func (s *Store) reloadManifest() error {
+	raw, err := os.ReadFile(filepath.Join(s.root, manifestName))
+	if err != nil {
+		return fmt.Errorf("hdfsraid: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("hdfsraid: corrupt manifest: %w", err)
+	}
+	if m.Files == nil {
+		m.Files = map[string]FileInfo{}
+	}
+	s.manifest = m
+	return nil
 }
 
 // saveManifest persists the manifest atomically: write a temp file,
@@ -542,7 +719,10 @@ type RepairReport struct {
 // Repair rebuilds the given failed nodes for every stored file by
 // planning and executing each stripe's repair against the on-disk
 // blocks. Only the plans' transfers touch data from other nodes, so
-// the report's Transfers is the true network bill.
+// the report's Transfers is the true network bill. When the Heat hook
+// is set, hot files are repaired before cold ones, so the files
+// foreground traffic cares about most regain their replicas first —
+// and before any error cuts the pass short.
 func (s *Store) Repair(failed []int) (RepairReport, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -561,7 +741,22 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 			return rep, fmt.Errorf("hdfsraid: invalid node %d", f)
 		}
 	}
-	for _, name := range s.filesLocked() {
+	names := s.filesLocked()
+	if s.Heat != nil {
+		// Decorate once — the hook may take locks or do decay math —
+		// then sort hottest first, names breaking ties.
+		heat := make(map[string]float64, len(names))
+		for _, name := range names {
+			heat[name] = s.Heat(name)
+		}
+		sort.SliceStable(names, func(i, j int) bool {
+			if heat[names[i]] != heat[names[j]] {
+				return heat[names[i]] > heat[names[j]]
+			}
+			return names[i] < names[j]
+		})
+	}
+	for _, name := range names {
 		fi := s.manifest.Files[name]
 		cc, err := s.fileCodec(fi)
 		if err != nil {
@@ -622,7 +817,9 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 				releaseFrames()
 				return rep, fmt.Errorf("hdfsraid: %s stripe %d: %w", name, i, err)
 			}
-			// Persist the restored replicas.
+			// Persist the restored replicas, recycling each recovered
+			// buffer (drawn from the payload pool by the executor) the
+			// moment it is on disk.
 			for _, f := range fileFailed {
 				for _, sym := range p.NodeSymbols[f] {
 					buf, ok := nc[f][sym]
@@ -634,6 +831,7 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 						releaseFrames()
 						return rep, err
 					}
+					s.payloadPool.Put(buf)
 					rep.BlocksRestored++
 				}
 			}

@@ -408,3 +408,79 @@ func TestReadBlockRAIDMDegradedCostsNine(t *testing.T) {
 		t.Fatal("RAID+m degraded read wrong")
 	}
 }
+
+// TestRepairHotFilesFirst: with the Heat hook set, Repair rebuilds hot
+// files before cold ones — so when a cold file turns out to be
+// unrepairable mid-pass, the hot file has already regained its
+// replicas. Without heat the alphabetical order would have died on the
+// cold file first.
+func TestRepairHotFilesFirst(t *testing.T) {
+	s := newStore(t, "rs-9-6")
+	cold := randomFile(t, 6*blockSize, 80)
+	hot := randomFile(t, 6*blockSize, 81)
+	if err := s.Put("a-cold", cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b-hot", hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the cold file past the code's tolerance: with node 1 dead
+	// plus three more of its stripe-0 symbols gone, its repair fails.
+	for _, v := range []int{2, 3, 4} {
+		for _, sym := range s.code.Placement().NodeSymbols[v] {
+			if err := os.Remove(s.blockPath(v, "a-cold", 0, sym)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Heat = func(name string) float64 {
+		if name == "b-hot" {
+			return 10
+		}
+		return 1
+	}
+	if _, err := s.Repair([]int{1}); err == nil {
+		t.Fatal("repair of the damaged cold file succeeded")
+	}
+	// The hot file was repaired before the pass died on the cold one.
+	for _, sym := range s.code.Placement().NodeSymbols[1] {
+		fi, _ := s.Info("b-hot")
+		for i := 0; i < fi.Stripes; i++ {
+			if _, err := os.Stat(s.blockPath(1, "b-hot", i, sym)); err != nil {
+				t.Fatalf("hot file not repaired first: %v", err)
+			}
+		}
+	}
+	got, err := s.Get("b-hot")
+	if err != nil || !bytes.Equal(got, hot) {
+		t.Fatalf("hot file wrong after hot-first repair (%v)", err)
+	}
+	// Sanity: without heat, alphabetical order dies on a-cold before
+	// b-hot is touched.
+	s2 := newStore(t, "rs-9-6")
+	if err := s2.Put("a-cold", cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put("b-hot", hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{2, 3, 4} {
+		for _, sym := range s2.code.Placement().NodeSymbols[v] {
+			if err := os.Remove(s2.blockPath(v, "a-cold", 0, sym)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s2.Repair([]int{1}); err == nil {
+		t.Fatal("repair of the damaged cold file succeeded")
+	}
+	if _, err := os.Stat(s2.blockPath(1, "b-hot", 0, s2.code.Placement().NodeSymbols[1][0])); err == nil {
+		t.Fatal("heatless repair restored the hot file before dying on the cold one")
+	}
+}

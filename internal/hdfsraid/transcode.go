@@ -4,6 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // TranscodeReport summarizes one online transcode.
@@ -28,16 +33,42 @@ const tmpSuffix = ".tc"
 // double-replication code when they heat up, demote them back when
 // they cool.
 //
+// The data plane streams: both codes stripe at the store's block size,
+// so data block g of the file under the new layout is exactly data
+// block g under the old one, and a worker pool reads each new stripe's
+// blocks through the old code (healthy replica or partial-parity
+// degraded read) straight into the encoder's pooled buffers. Peak
+// memory is O(stripes in flight) — a few block frames per worker —
+// never O(file), so a rebalance scan can move arbitrarily large files
+// without ballooning the process.
+//
+// Moves of distinct files run concurrently: each holds only its
+// per-file lock plus, briefly, the manifest lock for the journal and
+// swap phases. Two moves of one file serialize on the file lock.
+//
 // The swap is crash-exact: before any old block is touched, the full
 // move — file, codes, staged-block list — is journaled as a
-// TranscodeIntent inside the manifest, and each destructive phase
-// advances the journal state first. A process killed at any point
-// leaves a store that Open's recovery pass (see Recover) rolls
-// forward to the new code or back to the old one, with the file
-// byte-identical either way.
+// TranscodeIntent in the manifest's journal queue, and each
+// destructive phase advances the journal state first. A process killed
+// at any point, with any number of moves in flight, leaves a store
+// that Open's recovery pass (see Recover) rolls forward to the new
+// code or back to the old one, file by file, byte-identical either
+// way.
 func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
-	s.tcMu.Lock()
-	defer s.tcMu.Unlock()
+	// Hold the move path's read side (Recover takes the write side),
+	// the store's process-exclusive move flock (so another process
+	// can neither move concurrently against a stale manifest nor
+	// sweep this move's staged blocks in its startup recovery), and
+	// this file's move lock, for the whole operation.
+	s.opMu.RLock()
+	defer s.opMu.RUnlock()
+	if err := s.lockStoreForMove(); err != nil {
+		return TranscodeReport{}, err
+	}
+	defer s.unlockStoreForMove()
+	s.lockMove(name)
+	defer s.unlockMove(name)
+
 	fi, ok := s.Info(name)
 	if !ok {
 		return TranscodeReport{}, fmt.Errorf("hdfsraid: no such file %q", name)
@@ -55,31 +86,30 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	if newCC.code.Name() == oldCC.code.Name() {
 		return rep, nil // already on the target code
 	}
-
-	// Recover the file bytes through the old code, tolerating dead
-	// nodes up to its fault tolerance. The internal read skips the
-	// heat hook: a tiering move is not an access. The read itself
-	// decodes stripes with the store's worker pool and pooled frames.
-	data, err := s.get(name, true)
-	if err != nil {
-		return rep, fmt.Errorf("hdfsraid: transcode %q: %w", name, err)
+	// A move of this file that failed between journaling its intent and
+	// committing (e.g. ENOSPC mid-swap) left its journal entry as the
+	// only recovery map for the file — never stage over it; make the
+	// caller run Recover first. Moves of other files proceed.
+	s.mu.RLock()
+	pending := s.queuedIntent(name)
+	s.mu.RUnlock()
+	if pending != nil {
+		return rep, fmt.Errorf("hdfsraid: transcode of %q pending in journal; run Recover before moving it again", name)
 	}
-	rep.DataBlocksRead = oldCC.striper.StripeCount(len(data)) * oldCC.code.DataSymbols()
 
-	// Re-encode under the new code and stage every replica, as a
-	// pipeline: a bounded worker pool encodes stripe N from pooled
-	// buffers while other workers are still writing stripe N-1, and
-	// every parity buffer is recycled the moment its stripe is on
-	// disk. Tier-manager rebalance moves run through this same path.
+	// Stream the re-encoding: per-stripe (possibly degraded) reads
+	// through the old code feed the new code's encoder directly, and
+	// every stripe is staged as .tc blocks the moment it is encoded.
 	if err := s.ensureNodeDirs(newCC.code.Nodes()); err != nil {
 		return rep, err
 	}
-	staged, err := s.writeFileBlocks(name, newCC, data, tmpSuffix)
+	staged, blocksRead, err := s.transcodeStream(name, fi, oldCC, newCC)
 	if err != nil {
 		removeAll(staged)
-		return rep, err
+		return rep, fmt.Errorf("hdfsraid: transcode %q: %w", name, err)
 	}
-	stripeCount := newCC.striper.StripeCount(len(data))
+	rep.DataBlocksRead = blocksRead
+	stripeCount := newCC.striper.StripeCount(fi.Length)
 	if err := s.kill("staged"); err != nil {
 		return rep, err // simulated crash: orphan .tc blocks, no journal record
 	}
@@ -89,14 +119,6 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	// failure paths must NOT clean up staged blocks.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if pending := s.manifest.Journal; pending != nil {
-		// A previous transcode failed between journaling its intent
-		// and committing (e.g. ENOSPC mid-swap). Its record is the
-		// only recovery map for that file — never overwrite it; make
-		// the caller run Recover first.
-		removeAll(staged)
-		return rep, fmt.Errorf("hdfsraid: transcode of %q pending in journal; run Recover before new transcodes", pending.File)
-	}
 	if cur := s.manifest.Files[name]; cur != fi {
 		removeAll(staged)
 		return rep, fmt.Errorf("hdfsraid: file %q changed during transcode", name)
@@ -120,9 +142,9 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 		}
 		in.Staged = append(in.Staged, rel)
 	}
-	s.manifest.Journal = in
+	s.manifest.Queue = append(s.manifest.Queue, in)
 	if err := s.saveManifest(); err != nil {
-		s.manifest.Journal = nil
+		s.removeIntent(in)
 		removeAll(staged)
 		return rep, err
 	}
@@ -132,7 +154,8 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 
 	// Point of no return: mark the swap begun (so recovery always
 	// rolls forward past here), drop the old replicas, promote the
-	// staged ones, then commit the new code and clear the journal.
+	// staged ones, then commit the new code and clear the journal
+	// entry.
 	in.State = IntentSwapping
 	if err := s.saveManifest(); err != nil {
 		return rep, err // journal survives; recovery finishes the move
@@ -148,8 +171,80 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 		return rep, err // simulated crash: swap done, commit pending
 	}
 	s.manifest.Files[name] = FileInfo{Length: fi.Length, Stripes: stripeCount, Code: codeName}
-	s.manifest.Journal = nil
+	s.removeIntent(in)
 	return rep, s.saveManifest()
+}
+
+// transcodeStream stages the file's re-encoding under newCC through
+// the striper's source-driven pipeline: each worker reads one new
+// stripe's data blocks through the old code's read path (healthy
+// replica first, partial-parity degraded read when both replicas are
+// gone) into pooled buffers it reuses across stripes, encodes, and
+// writes every staged replica before touching the next stripe. It
+// returns the staged final paths (without the .tc suffix), including
+// those written before a failure so callers can clean up, plus the
+// number of source data blocks actually read.
+func (s *Store) transcodeStream(name string, fi FileInfo, oldCC, newCC codec) ([]string, int, error) {
+	bs := s.manifest.BlockSize
+	kOld := oldCC.code.DataSymbols()
+	kNew := newCC.code.DataSymbols()
+	dataBlocks := (fi.Length + bs - 1) / bs
+	p := newCC.code.Placement()
+	var read atomic.Int64
+	var mu sync.Mutex
+	var staged []string
+	fill := func(stripe int, blocks [][]byte) error {
+		for j, dst := range blocks {
+			// Both layouts stripe the same block sequence, so new
+			// stripe/symbol (stripe, j) is global data block g, which
+			// the old layout stores at (g/kOld, g%kOld). Blocks past
+			// the file's data are padding: zero them (stored padding
+			// blocks are zero too, but need no disk read).
+			g := stripe*kNew + j
+			if g >= dataBlocks {
+				clear(dst)
+				continue
+			}
+			if _, err := s.readDataBlockInto(dst, oldCC, name, g/kOld, g%kOld); err != nil {
+				return fmt.Errorf("reading data block %d: %w", g, err)
+			}
+			read.Add(1)
+		}
+		return nil
+	}
+	emit := func(stripe core.EncodedStripe) error {
+		for sym, buf := range stripe.Symbols {
+			for _, v := range p.SymbolNodes[sym] {
+				path := s.blockPath(v, name, stripe.Index, sym)
+				if err := s.writeBlock(path+tmpSuffix, buf); err != nil {
+					return err
+				}
+				mu.Lock()
+				staged = append(staged, path)
+				mu.Unlock()
+			}
+		}
+		return nil
+	}
+	// Share the machine's encode-worker budget across concurrent
+	// moves: the pipeline's peak memory is O(workers × stripe), so a
+	// move reserves only what is left of GOMAXPROCS (never less than
+	// one worker) rather than spawning a full pool per move. The
+	// reservation is corrected atomically, so total held workers stay
+	// ≤ GOMAXPROCS plus one per concurrent move.
+	budget := runtime.GOMAXPROCS(0)
+	workers := budget
+	if over := int(s.encodeWorkers.Add(int64(workers))) - budget; over > 0 {
+		granted := workers - over
+		if granted < 1 {
+			granted = 1
+		}
+		s.encodeWorkers.Add(int64(granted - workers))
+		workers = granted
+	}
+	defer s.encodeWorkers.Add(-int64(workers))
+	err := newCC.striper.EncodeStreamFrom(newCC.striper.StripeCount(fi.Length), workers, s.payloadPool, fill, emit)
+	return staged, int(read.Load()), err
 }
 
 // removeAll best-effort deletes staged temp blocks after a failure.

@@ -118,13 +118,17 @@ type DaemonStats struct {
 // it wants, hottest file first, under a token-bucket byte budget so
 // transcode traffic never starves foreground reads. Moves that do not
 // fit the remaining budget are deferred to a later scan rather than
-// dropped. HotRAP and Anna both argue tier movement belongs in exactly
-// this kind of continuously running, rate-limited background process
-// instead of on the caller's thread.
+// dropped, and each admitted move is assigned a paced transfer window
+// (MoveResult.Start/Duration) smearing its bytes over time at the
+// budget rate. HotRAP and Anna both argue tier movement belongs in
+// exactly this kind of continuously running, rate-limited background
+// process instead of on the caller's thread.
 type Daemon struct {
 	// OnMove, when non-nil, observes every executed move with the
-	// clock time it ran. The simulator hooks it to charge transcode
-	// traffic to the shared network model. Set it before Start.
+	// clock time it ran; mv.Start/mv.Duration carry the move's paced
+	// transfer window. The simulator hooks it to charge transcode
+	// traffic to the shared network model as a paced stream. Set it
+	// before Start.
 	OnMove func(mv MoveResult, now float64)
 
 	// OnTick, when non-nil, runs at the start of every scan, before
@@ -135,6 +139,14 @@ type Daemon struct {
 	m      *Manager
 	cfg    DaemonConfig
 	bucket *TokenBucket
+
+	// paceUntil is the time the transfer pacer has booked through:
+	// each admitted move's bytes occupy the window [max(now,
+	// paceUntil), +bytes/BytesPerSec), published as MoveResult.Start /
+	// Duration so OnMove observers (the simulator's shared LAN, a real
+	// traffic shaper) smear the move's transfers over that window
+	// instead of charging them all at tick time. Guarded by mu.
+	paceUntil float64
 
 	mu      sync.Mutex
 	stats   DaemonStats
@@ -230,6 +242,18 @@ func (d *Daemon) Tick(now float64) ([]MoveResult, error) {
 		if d.bucket != nil {
 			d.bucket.Settle(now, actual-est)
 		}
+		// Transfer-level pacing: book the move's bytes onto the wire
+		// back to back at the budget rate rather than as a burst at
+		// tick time. Without a rate limit the window degenerates to an
+		// instantaneous transfer at now.
+		res.Start = now
+		if res.Start < d.paceUntil {
+			res.Start = d.paceUntil
+		}
+		if d.cfg.BytesPerSec > 0 {
+			res.Duration = actual / d.cfg.BytesPerSec
+		}
+		d.paceUntil = res.Start + res.Duration
 		d.stats.Moves++
 		if mv.Promote {
 			d.stats.Promotions++

@@ -206,6 +206,77 @@ func TestDaemonOverBurstMove(t *testing.T) {
 	}
 }
 
+// TestDaemonPacedWindows: admitted moves are booked back-to-back
+// transfer windows at the budget rate — transfer-level pacing — and a
+// later tick starts after the pacer's booked horizon, never inside it.
+func TestDaemonPacedWindows(t *testing.T) {
+	ft := newFakeTarget(10, map[string]string{
+		"a": "rs-14-10", "b": "rs-14-10", "c": "rs-14-10",
+	})
+	tr := NewTracker(0)
+	tr.TouchN("a", 30, 0)
+	tr.TouchN("b", 20, 0)
+	tr.TouchN("c", 10, 0)
+	m, err := NewManager(ft, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One move costs 10 bytes; at 2 B/s each takes 5 s of wire time.
+	// Burst 20 admits exactly two moves in the first tick.
+	d, err := NewDaemon(m, DaemonConfig{Interval: 10, BytesPerSec: 2, Burst: 20, BlockBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []MoveResult
+	d.OnMove = func(mv MoveResult, now float64) { got = append(got, mv) }
+	if _, err := d.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("tick 1 moves = %+v, want a then b", got)
+	}
+	// a occupies [10,15), b is paced behind it at [15,20).
+	if got[0].Start != 10 || got[0].Duration != 5 {
+		t.Fatalf("a window = [%v,+%v), want [10,+5)", got[0].Start, got[0].Duration)
+	}
+	if got[1].Start != 15 || got[1].Duration != 5 {
+		t.Fatalf("b window = [%v,+%v), want [15,+5)", got[1].Start, got[1].Duration)
+	}
+	// The next tick lands at t=30, past the booked horizon (20): c
+	// starts at the tick, not inside an already-drained window.
+	if _, err := d.Tick(30); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Name != "c" || got[2].Start != 30 || got[2].Duration != 5 {
+		t.Fatalf("tick 2 moves = %+v, want c at [30,+5)", got)
+	}
+}
+
+// TestDaemonUnpacedWithoutBudget: with no rate limit there is no pace
+// rate, so moves keep the instantaneous window (Duration 0 at the
+// tick) the simulator interprets as the old burst behavior.
+func TestDaemonUnpacedWithoutBudget(t *testing.T) {
+	ft := newFakeTarget(10, map[string]string{"a": "rs-14-10"})
+	tr := NewTracker(0)
+	tr.TouchN("a", 10, 0)
+	m, err := NewManager(ft, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(m, DaemonConfig{Interval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []MoveResult
+	d.OnMove = func(mv MoveResult, now float64) { got = append(got, mv) }
+	if _, err := d.Tick(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Start != 3 || got[0].Duration != 0 {
+		t.Fatalf("moves = %+v, want one instantaneous window at t=3", got)
+	}
+}
+
 // TestDaemonUnlimited checks that without a rate limit a single tick
 // drains the whole backlog.
 func TestDaemonUnlimited(t *testing.T) {

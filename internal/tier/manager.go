@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/hdfsraid"
 )
@@ -30,6 +32,14 @@ type Manager struct {
 	Policy  Policy
 	Target  Target
 
+	// MoveWorkers bounds the worker pool Rebalance fans moves out to.
+	// The policy emits at most one move per file and the store's
+	// transcode path locks per file, so moves in one pass are always of
+	// distinct files and safe to run concurrently. 0 or 1 executes
+	// serially. Set it before the first Rebalance.
+	MoveWorkers int
+
+	mu       sync.Mutex // guards lastMove under concurrent moves
 	lastMove map[string]float64
 }
 
@@ -53,6 +63,8 @@ func (m *Manager) OnRead(name string, now float64) { m.Tracker.Touch(name, now) 
 // LastMoves returns a copy of the per-file last-transcode times, for
 // persisting MinDwell state across short-lived processes.
 func (m *Manager) LastMoves() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[string]float64, len(m.lastMove))
 	for name, t := range m.lastMove {
 		out[name] = t
@@ -63,6 +75,8 @@ func (m *Manager) LastMoves() map[string]float64 {
 // RestoreLastMoves seeds the per-file last-transcode times, so a
 // reconstructed manager keeps honoring MinDwell.
 func (m *Manager) RestoreLastMoves(moves map[string]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for name, t := range moves {
 		m.lastMove[name] = t
 	}
@@ -97,10 +111,17 @@ func (m *Manager) LoadLastMoves(path string) error {
 	return nil
 }
 
-// MoveResult is one executed tiering move.
+// MoveResult is one executed tiering move. Start and Duration describe
+// the transfer window the move's bytes occupy: the manager executes
+// moves instantaneously (Start = decision time, Duration = 0), while
+// the rate-limited daemon paces admitted moves back to back at its
+// budget rate, so simulations can smear each move's traffic over
+// [Start, Start+Duration] instead of charging it all at tick time.
 type MoveResult struct {
 	Move
 	BlocksMoved int
+	Start       float64
+	Duration    float64
 }
 
 // States returns the policy-engine view of every file in the target at
@@ -108,6 +129,8 @@ type MoveResult struct {
 func (m *Manager) States(now float64) []FileState {
 	names := m.Target.Files()
 	states := make([]FileState, 0, len(names))
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, name := range names {
 		code, ok := m.Target.FileCode(name)
 		if !ok {
@@ -130,8 +153,10 @@ func (m *Manager) execute(mv Move, now float64) (MoveResult, error) {
 	if err != nil {
 		return MoveResult{}, fmt.Errorf("tier: moving %q to %s: %w", mv.Name, mv.To, err)
 	}
+	m.mu.Lock()
 	m.lastMove[mv.Name] = now
-	return MoveResult{Move: mv, BlocksMoved: moved}, nil
+	m.mu.Unlock()
+	return MoveResult{Move: mv, BlocksMoved: moved, Start: now}, nil
 }
 
 // Rebalance asks the policy for moves at time now and executes them by
@@ -140,13 +165,20 @@ func (m *Manager) execute(mv Move, now float64) (MoveResult, error) {
 // colder ones — and before any error cuts the pass short. It stops at
 // the first transcode error, returning the moves already made. Against
 // the on-disk store, each move runs through the store's streaming
-// transcode pipeline (parallel stripe decode, pooled buffers, encode
-// overlapped with staging writes), so steady-state rebalance traffic
-// stays off the allocator's back. For a continuously running,
-// rate-limited alternative, see Daemon.
+// transcode pipeline (per-stripe degraded reads feeding the encoder
+// from pooled buffers), so steady-state rebalance traffic stays off
+// the allocator's back and peak memory per move is O(stripes in
+// flight). With MoveWorkers > 1, moves fan out to a bounded worker
+// pool — the store serializes only same-file moves, and a pass never
+// decides two moves of one file — hottest files are still dispatched
+// first. For a continuously running, rate-limited alternative, see
+// Daemon.
 func (m *Manager) Rebalance(now float64) ([]MoveResult, error) {
 	moves := m.Policy.Decide(now, m.States(now))
 	orderMoves(moves)
+	if m.MoveWorkers > 1 && len(moves) > 1 {
+		return m.rebalanceParallel(moves, now)
+	}
 	var done []MoveResult
 	for _, mv := range moves {
 		res, err := m.execute(mv, now)
@@ -156,6 +188,50 @@ func (m *Manager) Rebalance(now float64) ([]MoveResult, error) {
 		done = append(done, res)
 	}
 	return done, nil
+}
+
+// rebalanceParallel executes the ordered moves through a bounded
+// worker pool. Workers pull moves in hottest-first order; on error the
+// remaining queue is abandoned (in-flight moves drain) and the first
+// error is returned with every move that did complete.
+func (m *Manager) rebalanceParallel(moves []Move, now float64) ([]MoveResult, error) {
+	workers := m.MoveWorkers
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		done     []MoveResult
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(moves) {
+					return
+				}
+				res, err := m.execute(moves[i], now)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					failed.Store(true)
+				} else {
+					done = append(done, res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return done, firstErr
 }
 
 // StoreTarget adapts the on-disk HDFS-RAID store to the Target

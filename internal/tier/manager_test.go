@@ -2,8 +2,12 @@ package tier
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 
 	_ "repro/internal/code/heptlocal"
@@ -286,5 +290,122 @@ func TestManagerLastMovesFilePersistence(t *testing.T) {
 	}
 	if err := m3.LoadLastMoves(filepath.Join(t.TempDir(), "none.json")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// barrierTarget is a Target whose Transcode blocks until `width` moves
+// are in flight simultaneously — it deadlocks (and the test times out)
+// unless the manager genuinely runs that many moves concurrently.
+type barrierTarget struct {
+	mu      sync.Mutex
+	codes   map[string]string
+	entered int
+	width   int
+	ready   chan struct{}
+}
+
+func (b *barrierTarget) Files() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.codes))
+	for n := range b.codes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (b *barrierTarget) FileCode(name string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.codes[name]
+	return c, ok
+}
+
+func (b *barrierTarget) Transcode(name, codeName string) (int, error) {
+	b.mu.Lock()
+	b.entered++
+	if b.entered == b.width {
+		close(b.ready)
+	}
+	b.codes[name] = codeName
+	b.mu.Unlock()
+	<-b.ready
+	return 7, nil
+}
+
+// TestRebalanceParallelMoves: with MoveWorkers set, a rebalance pass
+// fans its moves (always of distinct files) out to a worker pool; the
+// barrier target proves all of them are in flight at once.
+func TestRebalanceParallelMoves(t *testing.T) {
+	const n = 3
+	bt := &barrierTarget{codes: map[string]string{}, width: n, ready: make(chan struct{})}
+	tr := NewTracker(0)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("f%d", i)
+		bt.codes[name] = "rs-14-10"
+		tr.TouchN(name, float64(10+i), 0)
+	}
+	m, err := NewManager(bt, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MoveWorkers = n
+	moves, err := m.Rebalance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != n {
+		t.Fatalf("moves = %+v, want %d", moves, n)
+	}
+	for _, name := range bt.Files() {
+		if code, _ := bt.FileCode(name); code != "pentagon" {
+			t.Fatalf("%s on %q after parallel rebalance", name, code)
+		}
+	}
+	// The dwell guard saw every move.
+	if got := m.LastMoves(); len(got) != n {
+		t.Fatalf("lastMove = %v, want %d entries", got, n)
+	}
+}
+
+// errorTarget fails the named file's transcode.
+type errorTarget struct {
+	*barrierTarget
+	bad string
+}
+
+func (e *errorTarget) Transcode(name, codeName string) (int, error) {
+	if name == e.bad {
+		return 0, fmt.Errorf("injected failure for %q", name)
+	}
+	return e.barrierTarget.Transcode(name, codeName)
+}
+
+// TestRebalanceParallelError: a failing move surfaces its error after
+// the pool drains, with the successful moves still reported. Two
+// workers run the two hottest moves through the barrier; the cold
+// failing move is only pulled after they complete, so the outcome is
+// deterministic.
+func TestRebalanceParallelError(t *testing.T) {
+	bt := &barrierTarget{codes: map[string]string{}, width: 2, ready: make(chan struct{})}
+	et := &errorTarget{barrierTarget: bt, bad: "f2"}
+	tr := NewTracker(0)
+	for i, heat := range []float64{10, 10, 5} {
+		name := fmt.Sprintf("f%d", i)
+		bt.codes[name] = "rs-14-10"
+		tr.TouchN(name, heat, 0)
+	}
+	m, err := NewManager(et, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MoveWorkers = 2
+	moves, err := m.Rebalance(1)
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("completed moves = %+v, want 2", moves)
 	}
 }
