@@ -1,13 +1,14 @@
 // Command hdfscli drives the on-disk miniature HDFS-RAID store: create
-// a store for any registered code, put/get files, kill nodes, repair
-// them with the code's partial-parity plans (hottest files first, fed
-// by the persisted heat counters), fsck the block inventory, and tier
-// files between hot and cold codes by decayed access heat (every get
-// feeds a tracker persisted beside the manifest).
+// a store for any registered code (optionally with extent-granular
+// tiering), put/get files (put streams; get feeds per-extent heat
+// counters persisted beside the manifest), kill nodes, repair them
+// with the code's partial-parity plans (hottest files first, fed by
+// the persisted heat), fsck the block inventory, and tier extents
+// between hot and cold codes by decayed access heat.
 //
 // Usage:
 //
-//	hdfscli -store DIR create -code pentagon [-blocksize N]
+//	hdfscli -store DIR create -code pentagon [-blocksize N] [-extentblocks E]
 //	hdfscli -store DIR put FILE
 //	hdfscli -store DIR get NAME OUT
 //	hdfscli -store DIR ls
@@ -15,9 +16,9 @@
 //	hdfscli -store DIR repair NODE...
 //	hdfscli -store DIR fsck
 //	hdfscli -store DIR tier status
-//	hdfscli -store DIR tier set NAME CODE
+//	hdfscli -store DIR tier set [-ext N] NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
-//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-duration S] [rebalance flags]
+//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-horizon S] [-duration S] [rebalance flags]
 //
 // Every command Opens the store, which replays or rolls back any
 // transcode a crashed process left mid-flight (the manifest journal);
@@ -103,16 +104,21 @@ func doCreate(store string, args []string) error {
 	fs := flag.NewFlagSet("create", flag.ExitOnError)
 	code := fs.String("code", "pentagon", "coding scheme")
 	blockSize := fs.Int("blocksize", 1<<20, "block size in bytes")
+	extentBlocks := fs.Int("extentblocks", 0, "extent size in data blocks (0 = whole-file extents); extents tier independently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := hdfsraid.Create(store, *code, *blockSize)
+	s, err := hdfsraid.CreateExt(store, *code, *blockSize, *extentBlocks)
 	if err != nil {
 		return err
 	}
 	c := s.Code()
-	fmt.Printf("created %s store at %s: %d nodes, %d-byte blocks, overhead %.2fx, tolerates %d failures\n",
+	fmt.Printf("created %s store at %s: %d nodes, %d-byte blocks, overhead %.2fx, tolerates %d failures",
 		c.Name(), store, c.Nodes(), *blockSize, core.StorageOverhead(c), c.FaultTolerance())
+	if *extentBlocks > 0 {
+		fmt.Printf(", %d-block extents", *extentBlocks)
+	}
+	fmt.Println()
 	return nil
 }
 
@@ -124,16 +130,21 @@ func doPut(store string, args []string) error {
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(args[0])
+	// Stream the source file straight into the encode pipeline: no
+	// caller-materialized buffer, so a put's memory stays O(stripes
+	// in flight) regardless of the file's size.
+	f, err := os.Open(args[0])
 	if err != nil {
 		return err
 	}
+	defer f.Close()
 	name := filepath.Base(args[0])
-	if err := s.Put(name, data); err != nil {
+	if err := s.PutReader(name, f); err != nil {
 		return err
 	}
 	fi, _ := s.Info(name)
-	fmt.Printf("stored %s: %d bytes in %d stripes\n", name, fi.Length, fi.Stripes)
+	exts, _ := s.Extents(name)
+	fmt.Printf("stored %s: %d bytes in %d stripes across %d extents\n", name, fi.Length, fi.Stripes, len(exts))
 	return nil
 }
 
@@ -149,7 +160,9 @@ func doGet(store string, args []string) error {
 	if err != nil {
 		return err
 	}
-	s.OnRead = func(name string) { tr.Touch(name, nowSeconds()) }
+	// Heat accrues per extent: a whole-file get touches every extent,
+	// so the rebalance daemon sees which regions are actually hot.
+	s.OnReadExtent = func(name string, ext int) { tr.TouchExtent(name, ext, nowSeconds()) }
 	data, err := s.Get(args[0])
 	if err != nil {
 		return err
@@ -249,18 +262,42 @@ func doTierStatus(store string) error {
 	now := nowSeconds()
 	fmt.Printf("%-30s %-16s %9s %8s\n", "FILE", "CODE", "OVERHEAD", "HEAT")
 	for _, name := range s.Files() {
-		codeName, _ := s.FileCode(name)
-		c, err := core.New(codeName)
-		if err != nil {
-			return err
+		exts, _ := s.Extents(name)
+		if len(exts) <= 1 {
+			codeName, _ := s.FileCode(name)
+			c, err := core.New(codeName)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-30s %-16s %8.2fx %8.2f\n",
+				name, codeName, core.StorageOverhead(c), tr.Heat(name, now))
+			continue
 		}
-		fmt.Printf("%-30s %-16s %8.2fx %8.2f\n",
-			name, codeName, core.StorageOverhead(c), tr.Heat(name, now))
+		codeName, _ := s.FileCode(name)
+		fmt.Printf("%-30s %-16s %9s %8.2f\n", name, codeName, "", tr.Heat(name, now))
+		for ext := range exts {
+			extCode, _ := s.ExtentCode(name, ext)
+			c, err := core.New(extCode)
+			if err != nil {
+				return err
+			}
+			// ExtentHeat (extent counter + inherited whole-file heat)
+			// is exactly what the rebalance policy sees, so status
+			// never shows a cold extent the daemon is busy promoting.
+			fmt.Printf("  extent %-3d %17s %-16s %8.2fx %8.2f\n",
+				ext, "", extCode, core.StorageOverhead(c), tr.ExtentHeat(name, ext, now))
+		}
 	}
 	return nil
 }
 
 func doTierSet(store string, args []string) error {
+	fs := flag.NewFlagSet("tier set", flag.ExitOnError)
+	ext := fs.Int("ext", -1, "move only this extent (-1 = whole file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) != 2 {
 		usage()
 	}
@@ -268,12 +305,17 @@ func doTierSet(store string, args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := s.Transcode(args[0], args[1])
+	var rep hdfsraid.TranscodeReport
+	if *ext >= 0 {
+		rep, err = s.TranscodeExtent(args[0], *ext, args[1])
+	} else {
+		rep, err = s.Transcode(args[0], args[1])
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("transcoded %s: %s -> %s, %d stripes, %d blocks written, %d removed\n",
-		args[0], rep.From, rep.To, rep.Stripes, rep.BlocksWritten, rep.BlocksRemoved)
+	fmt.Printf("transcoded %s: %s -> %s, %d extents, %d stripes, %d blocks written, %d removed\n",
+		args[0], rep.From, rep.To, rep.Extents, rep.Stripes, rep.BlocksWritten, rep.BlocksRemoved)
 	return nil
 }
 
@@ -319,14 +361,24 @@ func doTierRebalance(store string, args []string) error {
 		return nil
 	}
 	for _, mv := range moves {
-		dir := "demote"
-		if mv.Promote {
-			dir = "promote"
-		}
-		fmt.Printf("%s %s: %s -> %s (heat %.2f, %d block-units moved)\n",
-			dir, mv.Name, mv.From, mv.To, mv.Heat, mv.BlocksMoved)
+		printMove(mv)
 	}
 	return nil
+}
+
+// printMove reports one executed tiering move, extent-qualified when
+// the move covered a single extent.
+func printMove(mv tier.MoveResult) {
+	dir := "demote"
+	if mv.Promote {
+		dir = "promote"
+	}
+	unit := mv.Name
+	if mv.Ext >= 0 {
+		unit = fmt.Sprintf("%s[x%d]", mv.Name, mv.Ext)
+	}
+	fmt.Printf("%s %s: %s -> %s (heat %.2f, %d block-units moved)\n",
+		dir, unit, mv.From, mv.To, mv.Heat, mv.BlocksMoved)
 }
 
 // doTierDaemon runs the background rebalance daemon in the
@@ -343,6 +395,7 @@ func doTierDaemon(store string, args []string) error {
 	dwell := fs.Float64("dwell", 0, "min seconds between moves of one file")
 	every := fs.Float64("every", 10, "seconds between rebalance scans")
 	budget := fs.Float64("budget", 0, "transcode budget, MB/s (0 = unlimited)")
+	horizon := fs.Float64("horizon", 0, "admission horizon: max seconds of booked transfer window per scan (0 = unlimited)")
 	duration := fs.Float64("duration", 0, "run this many seconds (0 = until interrupt)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -366,9 +419,10 @@ func doTierDaemon(store string, args []string) error {
 		return err
 	}
 	d, err := tier.NewDaemon(m, tier.DaemonConfig{
-		Interval:    *every,
-		BytesPerSec: *budget * 1e6,
-		BlockBytes:  s.BlockSize(),
+		Interval:     *every,
+		BytesPerSec:  *budget * 1e6,
+		BlockBytes:   s.BlockSize(),
+		AdmitHorizon: *horizon,
 	})
 	if err != nil {
 		return err
@@ -380,14 +434,7 @@ func doTierDaemon(store string, args []string) error {
 			m.Tracker = fresh
 		}
 	}
-	d.OnMove = func(mv tier.MoveResult, now float64) {
-		dir := "demote"
-		if mv.Promote {
-			dir = "promote"
-		}
-		fmt.Printf("%s %s: %s -> %s (heat %.2f, %d block-units moved)\n",
-			dir, mv.Name, mv.From, mv.To, mv.Heat, mv.BlocksMoved)
-	}
+	d.OnMove = func(mv tier.MoveResult, now float64) { printMove(mv) }
 	if err := d.Start(); err != nil {
 		return err
 	}

@@ -2,24 +2,33 @@
 // the simulated cluster under several tiering policies and prints the
 // storage-overhead vs degraded-read frontier: static all-cold RS,
 // static all-hot, and adaptive policies at increasing promote
-// thresholds. Hot files on a double-replication code read locally even
-// with failed nodes; cold RS files pay k-block degraded reads.
+// thresholds — each adaptive policy run twice, once tiering whole
+// files and once tiering fixed-size extents. Hot data on a double-
+// replication code reads locally even with failed nodes; cold RS data
+// pays k-block degraded reads.
+//
+// Accesses carry a Zipf-drawn block offset (-blockzipf), so skew lives
+// inside files as well as across them: each file's head blocks are far
+// hotter than its tail. Whole-file tiering must then move (and pay
+// for) entire files to capture the hot heads; extent tiering promotes
+// just the hot extents, so on skewed intra-file workloads it reports
+// both lower moved-blk and lower read-ms at the same thresholds.
 //
 // Tier moves are executed by the background rebalance daemon on the
 // simulation's virtual clock, and both the degraded-read fetches and
 // the daemon's transcode traffic flow through the shared store-and-
 // forward LAN model. Under a -budget the daemon paces each admitted
 // move's bytes over a transfer window at the budget rate (see
-// tier.MoveResult.Start/Duration), so rebalance traffic trickles
-// across the LAN and interleaves with foreground reads chunk by chunk
-// instead of bursting at tick time; the "deferred" column counts
-// moves pushed to later scans by the byte budget.
+// tier.MoveResult.Start/Duration) and admits per scan only what the
+// -horizon's booked windows can absorb; the "deferred" column counts
+// moves pushed to later scans.
 //
 // Usage:
 //
-//	tiersim [-files N] [-blocks B] [-accesses A] [-zipf S] [-rate R]
+//	tiersim [-files N] [-blocks B] [-extblocks E] [-accesses A]
+//	        [-zipf S] [-blockzipf S] [-rate R]
 //	        [-nodes N] [-failed F] [-hot CODE] [-cold CODE]
-//	        [-halflife S] [-every S] [-budget MBPS]
+//	        [-halflife S] [-every S] [-budget MBPS] [-horizon S]
 //	        [-blockmb MB] [-netmbps MBPS] [-seed S]
 package main
 
@@ -42,8 +51,10 @@ import (
 func main() {
 	files := flag.Int("files", 40, "distinct files")
 	blocks := flag.Int("blocks", 20, "data blocks per file")
+	extBlocks := flag.Int("extblocks", 10, "extent size in data blocks for the extent-tiering rows (multiples of the codes' data symbols avoid stripe padding)")
 	accesses := flag.Int("accesses", 8000, "trace length")
-	zipfS := flag.Float64("zipf", 1.4, "Zipf exponent (>1)")
+	zipfS := flag.Float64("zipf", 1.4, "Zipf exponent across files (>1)")
+	blockZipfS := flag.Float64("blockzipf", 1.8, "Zipf exponent across blocks within a file (>1; 0 = no intra-file skew)")
 	rate := flag.Float64("rate", 20, "accesses per second")
 	nodes := flag.Int("nodes", 30, "cluster data nodes")
 	failed := flag.Int("failed", 2, "failed nodes during the replay")
@@ -52,6 +63,7 @@ func main() {
 	halfLife := flag.Float64("halflife", 60, "heat half-life, seconds")
 	every := flag.Float64("every", 10, "rebalance interval, seconds")
 	budget := flag.Float64("budget", 0, "daemon transcode budget, MB/s (0 = unlimited)")
+	horizon := flag.Float64("horizon", 0, "admission horizon, seconds of booked transfer window per scan (0 = unlimited)")
 	blockMB := flag.Float64("blockmb", 64, "block size, MB")
 	netMBps := flag.Float64("netmbps", 100, "per-NIC bandwidth, MB/s")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -59,6 +71,7 @@ func main() {
 
 	trace, err := workload.ZipfTrace(workload.TraceConfig{
 		Files: *files, Accesses: *accesses, ZipfS: *zipfS, Rate: *rate, Seed: *seed,
+		BlocksPerFile: *blocks, BlockZipfS: *blockZipfS,
 	})
 	if err != nil {
 		fatal(err)
@@ -82,6 +95,7 @@ func main() {
 	type row struct {
 		label     string
 		startCode string
+		extBlocks int // 0 = whole-file tiering
 		policy    tier.Policy
 		every     float64
 	}
@@ -95,23 +109,25 @@ func main() {
 			every:  end + 1},
 	}
 	for _, promote := range []float64{4, 8, 16} {
-		rows = append(rows, row{
-			label:     fmt.Sprintf("tier p=%g/d=%g", promote, promote/4),
-			startCode: *cold,
-			policy: tier.Policy{HotCode: *hot, ColdCode: *cold,
-				PromoteAt: promote, DemoteAt: promote / 4, MinDwell: *every},
-			every: *every,
-		})
+		pol := tier.Policy{HotCode: *hot, ColdCode: *cold,
+			PromoteAt: promote, DemoteAt: promote / 4, MinDwell: *every}
+		rows = append(rows,
+			row{label: fmt.Sprintf("file p=%g/d=%g", promote, promote/4),
+				startCode: *cold, policy: pol, every: *every},
+			row{label: fmt.Sprintf("ext  p=%g/d=%g", promote, promote/4),
+				startCode: *cold, extBlocks: *extBlocks, policy: pol, every: *every},
+		)
 	}
 
-	fmt.Printf("tiersim: %d files x %d blocks, %d accesses (zipf %.2f), %d nodes, %d failed, hot=%s cold=%s, budget=%g MB/s\n\n",
-		*files, *blocks, *accesses, *zipfS, *nodes, *failed, *hot, *cold, *budget)
-	fmt.Printf("%-22s %8s %6s %6s %10s %10s %10s %11s %11s\n",
+	fmt.Printf("tiersim: %d files x %d blocks (ext=%d), %d accesses (zipf %.2f/blk %.2f), %d nodes, %d failed, hot=%s cold=%s, budget=%g MB/s horizon=%gs\n\n",
+		*files, *blocks, *extBlocks, *accesses, *zipfS, *blockZipfS, *nodes, *failed, *hot, *cold, *budget, *horizon)
+	fmt.Printf("%-18s %9s %6s %6s %10s %10s %10s %11s %11s\n",
 		"policy", "hot-end", "moves", "defer", "moved-blk", "overhead", "deg-reads", "xfers/read", "read-ms")
 
 	blockBytes := *blockMB * 1e6
 	for _, r := range rows {
 		ct := tier.NewClusterTarget(*nodes, *blocks, rand.New(rand.NewSource(*seed)))
+		ct.ExtentBlocks = r.extBlocks
 		for i := 0; i < *files; i++ {
 			if err := ct.AddFile(workload.TraceFileName(i), r.startCode); err != nil {
 				fatal(err)
@@ -122,9 +138,10 @@ func main() {
 			fatal(err)
 		}
 		d, err := tier.NewDaemon(m, tier.DaemonConfig{
-			Interval:    r.every,
-			BytesPerSec: *budget * 1e6,
-			BlockBytes:  int(blockBytes),
+			Interval:     r.every,
+			BytesPerSec:  *budget * 1e6,
+			BlockBytes:   int(blockBytes),
+			AdmitHorizon: *horizon,
 		})
 		if err != nil {
 			fatal(err)
@@ -171,14 +188,16 @@ func main() {
 		}
 
 		// Meter reads through the network and integrate storage
-		// overhead over time.
+		// overhead over time. Each access reads the block the trace
+		// names, so reads of a promoted hot extent price against the
+		// replicated layout even while the file's tail sits on RS.
 		var transfers, degraded int
 		var overheadIntegral, lastT, readLatSum float64
-		onAccess := func(name string, now float64) error {
+		onAccess := func(a workload.Access, now float64) error {
 			phys, data := ct.StorageBlocks()
 			overheadIntegral += float64(phys) / float64(data) * (now - lastT)
 			lastT = now
-			cost, err := ct.ReadCost(name, down)
+			cost, err := ct.ReadCostAt(a.Name, a.Block, down)
 			if err != nil {
 				return err
 			}
@@ -204,17 +223,21 @@ func main() {
 			fatal(err)
 		}
 
-		hotEnd := 0
+		hotEnd, extTotal := 0, 0
 		for _, name := range ct.Files() {
-			if code, _ := ct.FileCode(name); code == *hot {
-				hotEnd++
+			n := ct.Extents(name)
+			extTotal += n
+			for ext := 0; ext < n; ext++ {
+				if code, _ := ct.ExtentCode(name, ext); code == *hot {
+					hotEnd++
+				}
 			}
 		}
 		avgOverhead := overheadIntegral / lastT
 		xfersPerRead := float64(transfers) / float64(stats.Accesses)
 		readMS := readLatSum / float64(stats.Accesses) * 1000
-		fmt.Printf("%-22s %5d/%-2d %6d %6d %10d %9.2fx %10d %11.2f %11.0f\n",
-			r.label, hotEnd, *files, stats.Promotions+stats.Demotions, stats.Deferred,
+		fmt.Printf("%-18s %5d/%-3d %6d %6d %10d %9.2fx %10d %11.2f %11.0f\n",
+			r.label, hotEnd, extTotal, stats.Promotions+stats.Demotions, stats.Deferred,
 			stats.BlocksMoved, avgOverhead, degraded, xfersPerRead, readMS)
 	}
 }

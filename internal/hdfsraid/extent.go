@@ -1,0 +1,203 @@
+package hdfsraid
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Extent is one contiguous run of a file's data blocks, striped and
+// coded independently of its neighbors: the unit of tiering. A file is
+// a sequence of extents covering data blocks [Start, Start+Blocks) in
+// order; each extent carries its own code and stripe set, so a hot
+// region of a large cold file can sit on a double-replication code
+// while the rest stays on RS. Extent boundaries are fixed at ingest
+// (Put splits files into store-configured extent-sized runs; legacy
+// manifests migrate on Open as single-extent files) and never move —
+// a transcode changes an extent's code and stripe count, never its
+// data-block range.
+type Extent struct {
+	// Start is the extent's first data block, file-global.
+	Start int `json:"start"`
+	// Blocks is the number of data blocks the extent covers.
+	Blocks int `json:"blocks"`
+	// Stripes is the extent's stripe count under Code at the store
+	// block size: ceil(Blocks / k).
+	Stripes int `json:"stripes"`
+	// Code is the extent's coding scheme; empty means the store
+	// default.
+	Code string `json:"code,omitempty"`
+}
+
+// stripesFor returns the stripes needed for blocks data blocks under a
+// code with k data symbols.
+func stripesFor(blocks, k int) int {
+	if blocks <= 0 {
+		return 0
+	}
+	return (blocks + k - 1) / k
+}
+
+// dataBlocks returns the data blocks a length-byte file occupies at
+// the store's block size.
+func (s *Store) dataBlocks(length int) int {
+	return (length + s.blockSize - 1) / s.blockSize
+}
+
+// buildExtents splits a length-byte file into the store's ingest
+// extents: ExtentBlocks-sized runs under the default code (a trailing
+// partial run keeps the remainder), or one extent covering the whole
+// file when extents are disabled (ExtentBlocks <= 0).
+func (s *Store) buildExtents(length int) []Extent {
+	blocks := s.dataBlocks(length)
+	k := s.code.DataSymbols()
+	per := s.extentBlocks
+	if per <= 0 || blocks <= per {
+		return []Extent{{Start: 0, Blocks: blocks, Stripes: stripesFor(blocks, k)}}
+	}
+	exts := make([]Extent, 0, (blocks+per-1)/per)
+	for start := 0; start < blocks; start += per {
+		n := per
+		if start+n > blocks {
+			n = blocks - start
+		}
+		exts = append(exts, Extent{Start: start, Blocks: n, Stripes: stripesFor(n, k)})
+	}
+	return exts
+}
+
+// refreshSummary recomputes fi's legacy summary fields from its extent
+// map: Stripes is the total across extents, and Code mirrors the
+// extent code for single-extent files so manifests written by this
+// version stay readable (and meaningful) to pre-extent tooling.
+func refreshSummary(fi *FileInfo) {
+	total := 0
+	for _, e := range fi.Extents {
+		total += e.Stripes
+	}
+	fi.Stripes = total
+	if len(fi.Extents) == 1 {
+		fi.Code = fi.Extents[0].Code
+	} else {
+		fi.Code = ""
+	}
+}
+
+// normalizeFileInfo migrates a legacy per-file manifest entry to the
+// extent map in memory: a file without extents becomes a single-extent
+// file on its recorded code, byte-for-byte the same layout. Entries
+// that already carry extents pass through untouched.
+func (s *Store) normalizeFileInfo(fi FileInfo) FileInfo {
+	if len(fi.Extents) > 0 {
+		return fi
+	}
+	fi.Extents = []Extent{{
+		Start:   0,
+		Blocks:  s.dataBlocks(fi.Length),
+		Stripes: fi.Stripes,
+		Code:    fi.Code,
+	}}
+	return fi
+}
+
+// normalizeManifestLocked migrates every legacy file entry to the
+// extent map. Caller holds mu (or has exclusive access during Open).
+func (s *Store) normalizeManifestLocked() {
+	for name, fi := range s.manifest.Files {
+		if len(fi.Extents) == 0 {
+			s.manifest.Files[name] = s.normalizeFileInfo(fi)
+		}
+	}
+}
+
+// validateExtents checks that a file's extent map tiles its data
+// blocks exactly, with consistent stripe counts, and that every extent
+// code is registered.
+func (s *Store) validateExtents(name string, fi FileInfo) error {
+	if len(fi.Extents) == 0 {
+		return fmt.Errorf("hdfsraid: file %q has no extents", name)
+	}
+	next, totalStripes := 0, 0
+	for i, e := range fi.Extents {
+		if e.Start != next || (e.Blocks <= 0 && fi.Length > 0) {
+			return fmt.Errorf("hdfsraid: file %q extent %d does not tile (start %d, want %d)", name, i, e.Start, next)
+		}
+		cc, err := s.codecByName(e.Code)
+		if err != nil {
+			return fmt.Errorf("hdfsraid: file %q extent %d: %w", name, i, err)
+		}
+		if want := stripesFor(e.Blocks, cc.code.DataSymbols()); e.Stripes != want {
+			return fmt.Errorf("hdfsraid: file %q extent %d has %d stripes, want %d", name, i, e.Stripes, want)
+		}
+		next = e.Start + e.Blocks
+		totalStripes += e.Stripes
+	}
+	if want := s.dataBlocks(fi.Length); next != want {
+		return fmt.Errorf("hdfsraid: file %q extents cover %d blocks, want %d", name, next, want)
+	}
+	if fi.Stripes != totalStripes {
+		return fmt.Errorf("hdfsraid: file %q summary has %d stripes, extents total %d", name, fi.Stripes, totalStripes)
+	}
+	return nil
+}
+
+// extentBlockPath is blockPath with the extent dimension: files stored
+// under extent-style naming qualify every block with its extent index
+// (name.x<ext>.<stripe>.<symbol>), while legacy and migrated files
+// keep the flat name.<stripe>.<symbol> form their blocks were written
+// under. The naming style is fixed per file at ingest (FileInfo
+// .ExtentPaths), so concurrent extent moves of one file never collide
+// on staging paths.
+func (s *Store) extentBlockPath(v int, name string, fi FileInfo, ext, stripe, sym int) string {
+	if !fi.ExtentPaths {
+		return s.blockPath(v, name, stripe, sym)
+	}
+	return filepath.Join(s.nodeDir(v), fmt.Sprintf("%s.x%d.%d.%d", name, ext, stripe, sym))
+}
+
+// extentOf returns the index of the extent containing file-global data
+// block g. Caller guarantees g is within the file's data blocks.
+func extentOf(fi FileInfo, g int) int {
+	return sort.Search(len(fi.Extents), func(i int) bool {
+		e := fi.Extents[i]
+		return g < e.Start+e.Blocks
+	})
+}
+
+// Extents returns a copy of a file's extent map (a migrated legacy
+// file shows a single extent spanning the whole file).
+func (s *Store) Extents(name string) ([]Extent, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, ok := s.manifest.Files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]Extent(nil), fi.Extents...), true
+}
+
+// ExtentOf returns the index of the extent holding the file's data
+// block, or -1 when the file or block is unknown.
+func (s *Store) ExtentOf(name string, block int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, ok := s.manifest.Files[name]
+	if !ok || block < 0 || block >= s.dataBlocks(fi.Length) {
+		return -1
+	}
+	return extentOf(fi, block)
+}
+
+// ExtentCode returns the effective code name of one extent of a file.
+func (s *Store) ExtentCode(name string, ext int) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, ok := s.manifest.Files[name]
+	if !ok || ext < 0 || ext >= len(fi.Extents) {
+		return "", false
+	}
+	if c := fi.Extents[ext].Code; c != "" {
+		return c, true
+	}
+	return s.codeName, true
+}

@@ -1,0 +1,503 @@
+package hdfsraid
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newExtStore creates a store whose Puts split files into extentBlocks
+// -sized extents.
+func newExtStore(t *testing.T, code string, extentBlocks int) *Store {
+	t.Helper()
+	s, err := CreateExt(t.TempDir(), code, blockSize, extentBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExtentPutGetRoundTrip stores files straddling several extents —
+// including ragged extent and block tails — and reads them back.
+func TestExtentPutGetRoundTrip(t *testing.T) {
+	for _, size := range []int{
+		0,                    // empty file
+		blockSize / 2,        // single partial block
+		6 * blockSize,        // exactly one extent
+		18 * blockSize,       // exactly three extents
+		20*blockSize + 17,    // ragged tail block in a partial extent
+		2*6*blockSize + 3000, // two full extents plus change
+	} {
+		t.Run(fmt.Sprint(size), func(t *testing.T) {
+			s := newExtStore(t, "rs-9-6", 6)
+			data := randomFile(t, size, int64(200+size))
+			if err := s.Put("f", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round trip mismatch")
+			}
+			exts, ok := s.Extents("f")
+			if !ok {
+				t.Fatal("no extents")
+			}
+			wantExts := (s.dataBlocks(size) + 5) / 6
+			if wantExts == 0 {
+				wantExts = 1
+			}
+			if len(exts) != wantExts {
+				t.Fatalf("extents = %d, want %d", len(exts), wantExts)
+			}
+			if fsck, err := s.Fsck(); err != nil || !fsck.Healthy() {
+				t.Fatalf("unhealthy: %+v, %v", fsck, err)
+			}
+		})
+	}
+}
+
+// TestExtentMoveBoundedBytes is the partial-move acceptance test: a
+// hot-extent move of a large file transcodes only that extent's bytes.
+// The report's reads are exactly the extent's data blocks and its
+// writes exactly the extent's new stripes times the code's replicas —
+// bounded by extent size plus stripe padding, never file size.
+func TestExtentMoveBoundedBytes(t *testing.T) {
+	const extBlocks = 12 // 2 stripes of rs-9-6
+	s := newExtStore(t, "rs-9-6", extBlocks)
+	// 5 extents = 60 data blocks; a whole-file move would read them all.
+	want := randomFile(t, 60*blockSize, 210)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := s.TranscodeExtentCost("f", 2, "pentagon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.TranscodeExtent("f", 2, "pentagon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataBlocksRead != extBlocks {
+		t.Fatalf("read %d data blocks, want exactly the extent's %d (file has 60)", rep.DataBlocksRead, extBlocks)
+	}
+	// ceil(12/9) = 2 pentagon stripes at 20 physical replicas each —
+	// a whole-file move would write ceil(60/9)*20 = 140.
+	if wantWritten := 2 * 20; rep.BlocksWritten != wantWritten {
+		t.Fatalf("wrote %d blocks, want %d (extent-scoped)", rep.BlocksWritten, wantWritten)
+	}
+	if rep.Extents != 1 || rep.Stripes != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// The extent-scoped cost estimate priced the same move.
+	if cost != rep.DataBlocksRead+rep.BlocksWritten {
+		t.Fatalf("TranscodeExtentCost = %d, report says %d", cost, rep.DataBlocksRead+rep.BlocksWritten)
+	}
+	// Only extent 2 changed tier.
+	for ext := 0; ext < 5; ext++ {
+		wantCode := "rs-9-6"
+		if ext == 2 {
+			wantCode = "pentagon"
+		}
+		if code, _ := s.ExtentCode("f", ext); code != wantCode {
+			t.Fatalf("extent %d on %q, want %q", ext, code, wantCode)
+		}
+	}
+	if code, _ := s.FileCode("f"); code != MixedCode {
+		t.Fatalf("FileCode = %q, want mixed", code)
+	}
+	got, err := s.Get("f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("bytes wrong after extent move (%v)", err)
+	}
+	if fsck, err := s.Fsck(); err != nil || !fsck.Healthy() {
+		t.Fatalf("unhealthy after extent move: %+v, %v", fsck, err)
+	}
+	assertNoStagedBlocks(t, s.root)
+
+	// Moving the extent back restores a uniform file.
+	if _, err := s.TranscodeExtent("f", 2, "rs-9-6"); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := s.FileCode("f"); code != "rs-9-6" {
+		t.Fatalf("FileCode after demote = %q", code)
+	}
+	got, err = s.Get("f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("bytes wrong after extent demote (%v)", err)
+	}
+}
+
+// TestExtentMoveKillPoints crashes an extent move of a multi-extent
+// file at every stage of the journal state machine and checks that
+// reopening the store recovers it — forward onto the new code or back
+// to the old one — with every other extent untouched and the file
+// byte-identical.
+func TestExtentMoveKillPoints(t *testing.T) {
+	cases := []struct {
+		point    string
+		wantCode string // extent 1's code after recovery
+		replayed bool
+	}{
+		{point: "staged", wantCode: "rs-9-6", replayed: false},
+		{point: "intent", wantCode: "pentagon", replayed: true},
+		{point: "midswap", wantCode: "pentagon", replayed: true},
+		{point: "swapped", wantCode: "pentagon", replayed: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := CreateExt(dir, "rs-9-6", blockSize, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := randomFile(t, 18*blockSize+11, 220)
+			if err := s.Put("f", want); err != nil {
+				t.Fatal(err)
+			}
+			killAt(s, tc.point)
+			if _, err := s.TranscodeExtent("f", 1, "pentagon"); !errors.Is(err, errKilled) {
+				t.Fatalf("TranscodeExtent error = %v, want simulated crash", err)
+			}
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := s2.LastRecovery()
+			if tc.replayed && rec.Replayed != 1 {
+				t.Fatalf("recovery = %+v, want a replay", rec)
+			}
+			if !tc.replayed && (rec.Replayed != 0 || rec.OrphanBlocks == 0) {
+				t.Fatalf("recovery = %+v, want an orphan sweep", rec)
+			}
+			if rec.MissingStaged != 0 {
+				t.Fatalf("recovery lost staged blocks: %+v", rec)
+			}
+			for ext := 0; ext < 3; ext++ {
+				wantCode := "rs-9-6"
+				if ext == 1 {
+					wantCode = tc.wantCode
+				}
+				if code, _ := s2.ExtentCode("f", ext); code != wantCode {
+					t.Fatalf("extent %d recovered onto %q, want %q", ext, code, wantCode)
+				}
+			}
+			got, err := s2.Get("f")
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("bytes wrong after recovery (%v)", err)
+			}
+			if fsck, err := s2.Fsck(); err != nil || !fsck.Healthy() {
+				t.Fatalf("unhealthy after recovery: %+v, %v", fsck, err)
+			}
+			if len(s2.manifest.Queue) != 0 {
+				t.Fatalf("journal not drained: %+v", s2.manifest.Queue)
+			}
+			assertNoStagedBlocks(t, dir)
+		})
+	}
+}
+
+// TestExtentMovesSameFileConcurrent races moves of two different
+// extents of one file: per-extent locking must let them overlap and
+// both land, byte-identical.
+func TestExtentMovesSameFileConcurrent(t *testing.T) {
+	s := newExtStore(t, "rs-9-6", 6)
+	want := randomFile(t, 18*blockSize, 221)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, ext := range []int{0, 2} {
+		i, ext := i, ext
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = s.TranscodeExtent("f", ext, "pentagon")
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("move %d: %v", i, err)
+		}
+	}
+	for ext, wantCode := range map[int]string{0: "pentagon", 1: "rs-9-6", 2: "pentagon"} {
+		if code, _ := s.ExtentCode("f", ext); code != wantCode {
+			t.Fatalf("extent %d on %q, want %q", ext, code, wantCode)
+		}
+	}
+	got, err := s.Get("f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("bytes wrong after concurrent extent moves (%v)", err)
+	}
+	if fsck, err := s.Fsck(); err != nil || !fsck.Healthy() {
+		t.Fatalf("unhealthy: %+v, %v", fsck, err)
+	}
+}
+
+// TestExtentRepairMixedTiers kills nodes under a file whose extents
+// sit on different codes and checks one Repair pass heals every
+// extent with its own code's plan.
+func TestExtentRepairMixedTiers(t *testing.T) {
+	s := newExtStore(t, "rs-9-6", 6)
+	want := randomFile(t, 18*blockSize, 222)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TranscodeExtent("f", 1, "pentagon"); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, 3} {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Repair([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksRestored == 0 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	if fsck, err := s.Fsck(); err != nil || !fsck.Healthy() {
+		t.Fatalf("unhealthy after mixed-extent repair: %+v, %v", fsck, err)
+	}
+	got, err := s.Get("f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("bytes wrong after repair (%v)", err)
+	}
+}
+
+// TestExtentReadBlock addresses blocks through the concatenated
+// extent stripe space, with a degraded read across a killed node.
+func TestExtentReadBlock(t *testing.T) {
+	s := newExtStore(t, "rs-9-6", 6)
+	want := randomFile(t, 13*blockSize, 223) // 3 extents: 6+6+1 blocks
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	var touched []int
+	s.OnReadExtent = func(name string, ext int) { touched = append(touched, ext) }
+	// File stripe 1 is extent 1's stripe 0; its symbol 2 is global
+	// data block 8.
+	got, _, err := s.ReadBlock("f", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want[8*blockSize:9*blockSize]) {
+		t.Fatal("extent-addressed block read returned wrong bytes")
+	}
+	if len(touched) != 1 || touched[0] != 1 {
+		t.Fatalf("extent hook calls = %v, want [1]", touched)
+	}
+	// Degraded: kill data symbol 2's replica holder and reread.
+	p := s.Code().Placement()
+	for _, v := range p.SymbolNodes[2] {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, cost, err := s.ReadBlock("f", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost == 0 {
+		t.Fatal("degraded read reported zero transfers")
+	}
+	if !bytes.Equal(got, want[8*blockSize:9*blockSize]) {
+		t.Fatal("degraded extent block read returned wrong bytes")
+	}
+}
+
+// stripLegacy rewrites the on-disk manifest in the pre-extent shape:
+// file entries lose their extent map (keeping length/stripes/tier_code)
+// and the journal queue's single entry, if any, moves to the legacy
+// transcode_intent field without its extent index.
+func stripLegacy(t *testing.T, dir string) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if files, ok := m["files"].(map[string]any); ok {
+		for _, v := range files {
+			fi := v.(map[string]any)
+			delete(fi, "extents")
+			delete(fi, "extent_paths")
+		}
+	}
+	if q, ok := m["transcode_queue"].([]any); ok && len(q) == 1 {
+		in := q[0].(map[string]any)
+		delete(in, "extent")
+		m["transcode_intent"] = in
+		delete(m, "transcode_queue")
+	}
+	raw, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyManifestMigration: a pre-extent manifest (per-file entries
+// only) opens cleanly as single-extent files, round-trips bytes, and
+// persists the migrated extent map on the next save.
+func TestLegacyManifestMigration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 9*blockSize+5, 230)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transcode("f", "pentagon"); err != nil {
+		t.Fatal(err)
+	}
+	stripLegacy(t, dir)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exts, ok := s2.Extents("f")
+	if !ok || len(exts) != 1 {
+		t.Fatalf("migrated extents = %+v, %v; want one", exts, ok)
+	}
+	if exts[0].Code != "pentagon" || exts[0].Blocks != 10 || exts[0].Start != 0 {
+		t.Fatalf("migrated extent = %+v", exts[0])
+	}
+	if code, _ := s2.FileCode("f"); code != "pentagon" {
+		t.Fatalf("migrated code = %q", code)
+	}
+	got, err := s2.Get("f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("migrated file wrong (%v)", err)
+	}
+	if fsck, err := s2.Fsck(); err != nil || !fsck.Healthy() {
+		t.Fatalf("unhealthy after migration: %+v, %v", fsck, err)
+	}
+	// A post-migration move works and persists the extent map.
+	if _, err := s2.Transcode("f", "rs-9-6"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"extents"`) {
+		t.Fatalf("saved manifest missing extent map:\n%s", raw)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = s3.Get("f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("round-tripped migrated file wrong (%v)", err)
+	}
+}
+
+// TestLegacyJournalMigrationKillPoints: a legacy manifest whose
+// transcode died at each journal stage — per-file entries AND a
+// single-entry transcode_intent record, both in the pre-extent shape —
+// recovers on Open exactly as the queue-era store would: replayed
+// forward or rolled back, byte-identical, journal drained.
+func TestLegacyJournalMigrationKillPoints(t *testing.T) {
+	cases := []struct {
+		point    string
+		wantCode string
+	}{
+		{point: "intent", wantCode: "pentagon"},
+		{point: "midswap", wantCode: "pentagon"},
+		{point: "swapped", wantCode: "pentagon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Create(dir, "rs-9-6", blockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := randomFile(t, 12*blockSize, 231)
+			if err := s.Put("f", want); err != nil {
+				t.Fatal(err)
+			}
+			killAt(s, tc.point)
+			if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+				t.Fatalf("Transcode error = %v, want simulated crash", err)
+			}
+			stripLegacy(t, dir)
+
+			s2 := assertRecovered(t, dir, want, tc.wantCode)
+			if rec := s2.LastRecovery(); rec.Replayed != 1 {
+				t.Fatalf("legacy journal recovery = %+v, want a replay", rec)
+			}
+			exts, _ := s2.Extents("f")
+			if len(exts) != 1 || exts[0].Code != tc.wantCode {
+				t.Fatalf("recovered extents = %+v", exts)
+			}
+		})
+	}
+}
+
+// TestLegacyJournalRollback: the staged-damage rollback path works
+// through the legacy manifest shape too.
+func TestLegacyJournalRollback(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "rs-9-6", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randomFile(t, 12*blockSize, 232)
+	if err := s.Put("f", want); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "intent")
+	if _, err := s.Transcode("f", "pentagon"); !errors.Is(err, errKilled) {
+		t.Fatal("expected simulated crash")
+	}
+	stripLegacy(t, dir)
+	// Lose a staged block: forward is impossible, rollback mandatory.
+	matches, err := filepath.Glob(filepath.Join(dir, "node-*", "*"+tmpSuffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no staged blocks (err=%v)", err)
+	}
+	if err := os.Remove(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+	s2 := assertRecovered(t, dir, want, "rs-9-6")
+	if rec := s2.LastRecovery(); rec.RolledBack != 1 {
+		t.Fatalf("recovery = %+v, want a rollback", rec)
+	}
+}
+
+// TestPutRefusesDuplicateAndBadNames still holds under extents.
+func TestExtentPutValidation(t *testing.T) {
+	s := newExtStore(t, "rs-9-6", 6)
+	if err := s.Put("f", randomFile(t, blockSize, 233)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("f", nil); err == nil {
+		t.Fatal("duplicate put accepted")
+	}
+	if err := s.Put("a/b", nil); err == nil {
+		t.Fatal("path-y name accepted")
+	}
+}

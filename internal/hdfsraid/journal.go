@@ -33,17 +33,23 @@ const (
 	IntentSwapping IntentState = "swapping"
 )
 
-// TranscodeIntent is the journal record of one in-flight transcode,
-// persisted inside the manifest's journal queue before any destructive
-// step so that recovery after a crash is exact. The queue holds one
-// entry per in-flight move (at most one per file — per-file locking
-// enforces that), so any number of moves of distinct files can be
-// mid-flight when a process dies and Recover replays or rolls back
-// every one of them. Staged paths are root-relative final block paths;
-// the staged copy of each lives at path+".tc" until the swap renames
-// it into place.
+// TranscodeIntent is the journal record of one in-flight extent
+// transcode, persisted inside the manifest's journal queue before any
+// destructive step so that recovery after a crash is exact. The queue
+// holds one entry per in-flight move (at most one per extent —
+// per-extent locking enforces that), so any number of moves of
+// distinct extents can be mid-flight when a process dies and Recover
+// replays or rolls back every one of them. Entries written before
+// moves became extent-scoped carry no extent field and decode as
+// extent 0 — exactly right, because pre-extent manifests store every
+// file as a single extent. Staged paths are root-relative final block
+// paths; the staged copy of each lives at path+".tc" until the swap
+// renames it into place.
 type TranscodeIntent struct {
-	File       string      `json:"file"`
+	File string `json:"file"`
+	// Extent is the index of the extent the move covers; stripe
+	// counts below are extent-local.
+	Extent     int         `json:"extent,omitempty"`
 	From       string      `json:"from"` // resolved source code name
 	To         string      `json:"to"`   // resolved target code name
 	Length     int         `json:"length"`
@@ -156,11 +162,11 @@ func (s *Store) Recover() (RecoverReport, error) {
 	return rep, nil
 }
 
-// queuedIntent returns the journal entry for name, if any. Caller
-// holds mu.
-func (s *Store) queuedIntent(name string) *TranscodeIntent {
+// queuedIntent returns the journal entry for one extent of name, if
+// any. Caller holds mu.
+func (s *Store) queuedIntent(name string, ext int) *TranscodeIntent {
 	for _, in := range s.manifest.Queue {
-		if in.File == name {
+		if in.File == name && in.Extent == ext {
 			return in
 		}
 	}
@@ -214,7 +220,7 @@ func (s *Store) replayIntent(in *TranscodeIntent) (int, error) {
 	if err != nil {
 		return swap.missing, err
 	}
-	s.manifest.Files[in.File] = FileInfo{Length: in.Length, Stripes: in.NewStripes, Code: in.To}
+	s.commitIntentLocked(in)
 	s.removeIntent(in)
 	return swap.missing, s.saveManifest()
 }
@@ -238,26 +244,28 @@ type swapResult struct {
 }
 
 // completeSwap executes (or resumes) the destructive phase of a
-// journaled transcode: delete every old-layout replica that is not
-// also a final path of the new layout, then rename each staged block
-// into place. Both halves are idempotent, so recovery can re-run the
-// whole thing after a crash at any point. Callers hold mu plus either
-// the file's move lock (Transcode) or opMu's write side (Recover).
+// journaled transcode: delete every old-layout replica of the moved
+// extent that is not also a final path of the new layout, then rename
+// each staged block into place. Both halves are idempotent, so
+// recovery can re-run the whole thing after a crash at any point.
+// Callers hold mu plus either the extent's move lock (TranscodeExtent)
+// or opMu's write side (Recover).
 func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
 	var res swapResult
 	newFinal := make(map[string]bool, len(in.Staged))
 	for _, rel := range in.Staged {
 		newFinal[filepath.Join(s.root, rel)] = true
 	}
-	oldCC, err := s.fileCodec(FileInfo{Code: in.From})
+	oldCC, err := s.codecByName(in.From)
 	if err != nil {
 		return res, err
 	}
+	fi := s.manifest.Files[in.File]
 	p := oldCC.code.Placement()
 	for i := 0; i < in.OldStripes; i++ {
 		for sym := 0; sym < oldCC.code.Symbols(); sym++ {
 			for _, v := range p.SymbolNodes[sym] {
-				path := s.blockPath(v, in.File, i, sym)
+				path := s.extentBlockPath(v, in.File, fi, in.Extent, i, sym)
 				if newFinal[path] {
 					// The new layout reuses this name: the rename below
 					// will overwrite it, so never delete here (a resumed

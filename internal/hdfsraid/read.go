@@ -24,28 +24,41 @@ func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) 
 }
 
 // BlockSize returns the store's block size.
-func (s *Store) BlockSize() int { return s.manifest.BlockSize }
+func (s *Store) BlockSize() int { return s.blockSize }
 
 // ReadBlockInto is ReadBlock into a caller-provided buffer of exactly
 // BlockSize bytes — the steady-state read path, which together with the
 // store's frame and payload pools moves block payloads with zero
-// allocations per read.
+// allocations per read. The stripe index is file-global: extent stripe
+// sets are concatenated in extent order, so (stripe, symbol) addresses
+// the same data block it did before the file grew an extent map.
 func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(dst) != s.manifest.BlockSize {
-		return 0, fmt.Errorf("hdfsraid: ReadBlockInto needs a %d-byte buffer, got %d", s.manifest.BlockSize, len(dst))
+	if len(dst) != s.blockSize {
+		return 0, fmt.Errorf("hdfsraid: ReadBlockInto needs a %d-byte buffer, got %d", s.blockSize, len(dst))
 	}
 	fi, ok := s.manifest.Files[name]
 	if !ok {
 		return 0, fmt.Errorf("hdfsraid: no such file %q", name)
 	}
-	cc, err := s.fileCodec(fi)
-	if err != nil {
-		return 0, err
-	}
 	if stripe < 0 || stripe >= fi.Stripes {
 		return 0, fmt.Errorf("hdfsraid: stripe %d out of range", stripe)
+	}
+	// Locate the extent holding this file stripe. The bounds check
+	// turns a summary Stripes field exceeding the extents' total (a
+	// hand-edited or corrupt manifest) into an error, not a panic.
+	ext, local := 0, stripe
+	for ext < len(fi.Extents) && local >= fi.Extents[ext].Stripes {
+		local -= fi.Extents[ext].Stripes
+		ext++
+	}
+	if ext == len(fi.Extents) {
+		return 0, fmt.Errorf("hdfsraid: stripe %d beyond %q's extents", stripe, name)
+	}
+	cc, err := s.codecByName(fi.Extents[ext].Code)
+	if err != nil {
+		return 0, err
 	}
 	if symbol < 0 || symbol >= cc.code.DataSymbols() {
 		return 0, fmt.Errorf("hdfsraid: symbol %d is not a data symbol", symbol)
@@ -53,16 +66,20 @@ func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (int,
 	if s.OnRead != nil {
 		s.OnRead(name)
 	}
-	return s.readDataBlockInto(dst, cc, name, stripe, symbol)
+	if s.OnReadExtent != nil {
+		s.OnReadExtent(name, ext)
+	}
+	return s.readDataBlockInto(dst, cc, name, fi, ext, local, symbol)
 }
 
 // readDataBlockInto is the lock-free core of ReadBlockInto: deliver one
-// data block into dst (exactly BlockSize bytes) through a healthy
-// replica or the code's partial-parity read plan, without touching the
-// manifest lock or the heat hook. It is shared by the public block read
-// and the streaming transcode source, whose workers call it
-// concurrently while a sibling move may hold the manifest lock.
-func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, stripe, symbol int) (int, error) {
+// data block (extent-local stripe coordinates) into dst (exactly
+// BlockSize bytes) through a healthy replica or the code's partial-
+// parity read plan, without touching the manifest lock or the heat
+// hook. It is shared by the public block read and the streaming
+// transcode source, whose workers call it concurrently while a sibling
+// move may hold the manifest lock.
+func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, fi FileInfo, ext, stripe, symbol int) (int, error) {
 	p := cc.code.Placement()
 
 	// One pooled frame serves every block file this read touches.
@@ -72,7 +89,7 @@ func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, stripe, sym
 	// Fast path: a healthy replica.
 	var downNodes []int
 	for _, v := range p.SymbolNodes[symbol] {
-		data, err := readBlockInto(s.blockPath(v, name, stripe, symbol), frame)
+		data, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, stripe, symbol), frame)
 		if err == nil {
 			copy(dst, data)
 			return 0, nil
@@ -98,7 +115,7 @@ func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, stripe, sym
 	for i, tr := range plan.Transfers {
 		clear(payload)
 		for _, term := range tr.Terms {
-			data, err := readBlockInto(s.blockPath(tr.From, name, stripe, term.Symbol), frame)
+			data, err := readBlockInto(s.extentBlockPath(tr.From, name, fi, ext, stripe, term.Symbol), frame)
 			if err != nil {
 				if os.IsNotExist(err) {
 					return 0, fmt.Errorf("hdfsraid: degraded read needs node %d symbol %d, which is also gone", tr.From, term.Symbol)

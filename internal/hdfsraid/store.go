@@ -37,6 +37,11 @@ type Manifest struct {
 	CodeName  string              `json:"code"`
 	BlockSize int                 `json:"block_size"`
 	Files     map[string]FileInfo `json:"files"`
+	// ExtentBlocks is the ingest extent size in data blocks: Put
+	// splits files into runs of this many blocks, each striped and
+	// tiered independently. 0 stores every file as a single extent
+	// (the pre-extent behavior).
+	ExtentBlocks int `json:"extent_blocks,omitempty"`
 	// Journal is the pre-queue single-entry journal field; Recover
 	// migrates it into Queue so manifests written by older versions
 	// recover identically. Never written anymore.
@@ -44,14 +49,25 @@ type Manifest struct {
 	Queue   []*TranscodeIntent `json:"transcode_queue,omitempty"`
 }
 
-// FileInfo records one stored file.
+// FileInfo records one stored file: its length plus the extent map
+// that carries the real layout. Stripes and Code are summary fields
+// (total stripes across extents; the single extent's code) kept for
+// pre-extent readers — manifests written before the extent map carry
+// only them, and Open migrates such entries to a single extent.
 type FileInfo struct {
 	Length  int `json:"length"`
 	Stripes int `json:"stripes"`
 	// Code is the file's coding scheme when it differs from the store
-	// default, e.g. after a tiering transcode. Empty means the store
-	// code.
+	// default and the file is a single extent. Empty means the store
+	// code (or a mixed multi-extent file; see Extents).
 	Code string `json:"tier_code,omitempty"`
+	// Extents is the file's layout: consecutive data-block runs, each
+	// with its own code and stripe set. Never empty after Open.
+	Extents []Extent `json:"extents,omitempty"`
+	// ExtentPaths records the block naming style: true means blocks
+	// are extent-qualified (name.x<ext>.<stripe>.<symbol>), false the
+	// legacy flat form. Fixed at ingest.
+	ExtentPaths bool `json:"extent_paths,omitempty"`
 }
 
 // Store is an open on-disk cluster. Reads may run concurrently with
@@ -61,6 +77,15 @@ type Store struct {
 	root    string
 	code    core.Code
 	striper *core.Striper
+
+	// codeName, blockSize and extentBlocks mirror the manifest's
+	// immutable configuration fields. Lock-free paths (streaming
+	// ingest and transcode workers) read these, never the manifest —
+	// reloadManifest reassigns the whole manifest struct under mu,
+	// which unlocked readers of its fields would race with.
+	codeName     string
+	blockSize    int
+	extentBlocks int
 
 	// framePool recycles on-disk block frames (payload + CRC trailer)
 	// across reads and writes; payloadPool recycles bare block-size
@@ -115,6 +140,13 @@ type Store struct {
 	// heat tracking; it must be cheap and non-blocking. Set it before
 	// serving concurrent reads.
 	OnRead func(name string)
+
+	// OnReadExtent, when non-nil, observes accesses at extent
+	// granularity: Get invokes it once per extent of the file (a whole
+	// -file read touches every extent), ReadBlock with the extent
+	// holding the block. The tier subsystem hooks it to feed per-
+	// extent heat. Same contract as OnRead.
+	OnReadExtent func(name string, ext int)
 
 	// Heat, when non-nil, reports a file's current access heat. Repair
 	// consults it to rebuild hot files before cold ones, extending the
@@ -246,8 +278,21 @@ func openLockFile(root string) (*os.File, error) {
 	return f, nil
 }
 
-// Create initializes a new store at root for the named code.
+// Create initializes a new store at root for the named code, storing
+// every file as a single extent. See CreateExt for extent-granular
+// tiering.
 func Create(root, codeName string, blockSize int) (*Store, error) {
+	return CreateExt(root, codeName, blockSize, 0)
+}
+
+// CreateExt initializes a new store whose Puts split files into
+// extents of extentBlocks data blocks, each striped — and later tiered
+// — independently, so a hot region of a large file can move to a
+// replicated code while the rest stays on RS. extentBlocks <= 0
+// stores whole files as single extents. Extent sizes that are a
+// multiple of the codes' data-symbol counts avoid per-extent stripe
+// padding.
+func CreateExt(root, codeName string, blockSize, extentBlocks int) (*Store, error) {
 	c, err := core.New(codeName)
 	if err != nil {
 		return nil, err
@@ -259,13 +304,18 @@ func Create(root, codeName string, blockSize int) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if extentBlocks < 0 {
+		extentBlocks = 0
+	}
 	s := &Store{
 		root: root, code: c, striper: st,
+		codeName: codeName, blockSize: blockSize, extentBlocks: extentBlocks,
 		framePool:   core.NewBlockPool(blockSize + 4),
 		payloadPool: core.NewBlockPool(blockSize),
-		manifest:    Manifest{CodeName: codeName, BlockSize: blockSize, Files: map[string]FileInfo{}},
-		codecs:      map[string]codec{codeName: {c, st}},
-		moveLocks:   map[string]*fileLock{},
+		manifest: Manifest{CodeName: codeName, BlockSize: blockSize,
+			ExtentBlocks: extentBlocks, Files: map[string]FileInfo{}},
+		codecs:    map[string]codec{codeName: {c, st}},
+		moveLocks: map[string]*fileLock{},
 	}
 	if err := s.ensureNodeDirs(c.Nodes()); err != nil {
 		return nil, err
@@ -301,6 +351,7 @@ func Open(root string) (*Store, error) {
 		m.Files = map[string]FileInfo{}
 	}
 	s := &Store{root: root, code: c, striper: st, manifest: m,
+		codeName: m.CodeName, blockSize: m.BlockSize, extentBlocks: m.ExtentBlocks,
 		framePool:   core.NewBlockPool(m.BlockSize + 4),
 		payloadPool: core.NewBlockPool(m.BlockSize),
 		codecs:      map[string]codec{m.CodeName: {c, st}},
@@ -308,10 +359,13 @@ func Open(root string) (*Store, error) {
 	if s.lockFile, err = openLockFile(root); err != nil {
 		return nil, err
 	}
-	// Fail fast if the manifest references an unregistered tier code.
-	for name, fi := range m.Files {
-		if _, err := s.fileCodec(fi); err != nil {
-			return nil, fmt.Errorf("hdfsraid: file %q: %w", name, err)
+	// Migrate legacy per-file entries to single-extent files, then
+	// fail fast if any extent references an unregistered tier code or
+	// an inconsistent layout.
+	s.normalizeManifestLocked()
+	for name, fi := range s.manifest.Files {
+		if err := s.validateExtents(name, fi); err != nil {
+			return nil, err
 		}
 	}
 	// Replay or roll back any transcode the last process left mid-
@@ -328,7 +382,9 @@ func Open(root string) (*Store, error) {
 // onto other codes; see FileCode).
 func (s *Store) Code() core.Code { return s.code }
 
-// FileCode returns the effective code name of a stored file.
+// FileCode returns the effective code name of a stored file: the
+// shared code when every extent agrees, "mixed" for a file whose
+// extents sit on different tiers.
 func (s *Store) FileCode(name string) (string, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -336,19 +392,35 @@ func (s *Store) FileCode(name string) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	if fi.Code == "" {
-		return s.manifest.CodeName, true
-	}
-	return fi.Code, true
+	return s.fileCodeLocked(fi), true
 }
 
-// fileCodec resolves the code and striper a file is stored under.
-// (CodeName and BlockSize are immutable after open, so only the codec
-// cache needs guarding.)
-func (s *Store) fileCodec(fi FileInfo) (codec, error) {
-	name := fi.Code
+// MixedCode is the FileCode result for a file whose extents sit on
+// more than one code.
+const MixedCode = "mixed"
+
+func (s *Store) fileCodeLocked(fi FileInfo) string {
+	resolve := func(c string) string {
+		if c == "" {
+			return s.codeName
+		}
+		return c
+	}
+	code := resolve(fi.Extents[0].Code)
+	for _, e := range fi.Extents[1:] {
+		if resolve(e.Code) != code {
+			return MixedCode
+		}
+	}
+	return code
+}
+
+// codecByName resolves a code name ("" = store default) to its cached
+// codec. (CodeName and BlockSize are immutable after open, so only the
+// codec cache needs guarding.)
+func (s *Store) codecByName(name string) (codec, error) {
 	if name == "" {
-		name = s.manifest.CodeName
+		name = s.codeName
 	}
 	s.codecMu.Lock()
 	defer s.codecMu.Unlock()
@@ -359,7 +431,7 @@ func (s *Store) fileCodec(fi FileInfo) (codec, error) {
 	if err != nil {
 		return codec{}, err
 	}
-	st, err := core.NewStriper(c, s.manifest.BlockSize)
+	st, err := core.NewStriper(c, s.blockSize)
 	if err != nil {
 		return codec{}, err
 	}
@@ -368,15 +440,30 @@ func (s *Store) fileCodec(fi FileInfo) (codec, error) {
 	return cc, nil
 }
 
+// extentCodecs resolves the codec of every extent of a file.
+func (s *Store) extentCodecs(fi FileInfo) ([]codec, error) {
+	ccs := make([]codec, len(fi.Extents))
+	for i, e := range fi.Extents {
+		cc, err := s.codecByName(e.Code)
+		if err != nil {
+			return nil, err
+		}
+		ccs[i] = cc
+	}
+	return ccs, nil
+}
+
 // Nodes returns the number of node directories the store spans: the
-// default code's length, or more when tiered files use longer codes.
+// default code's length, or more when tiered extents use longer codes.
 func (s *Store) Nodes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	n := s.code.Nodes()
 	for _, fi := range s.manifest.Files {
-		if cc, err := s.fileCodec(fi); err == nil && cc.code.Nodes() > n {
-			n = cc.code.Nodes()
+		for _, e := range fi.Extents {
+			if cc, err := s.codecByName(e.Code); err == nil && cc.code.Nodes() > n {
+				n = cc.code.Nodes()
+			}
 		}
 	}
 	return n
@@ -442,6 +529,7 @@ func (s *Store) reloadManifest() error {
 		m.Files = map[string]FileInfo{}
 	}
 	s.manifest = m
+	s.normalizeManifestLocked()
 	return nil
 }
 
@@ -496,8 +584,8 @@ func (s *Store) saveManifest() error {
 // writeBlock writes block bytes with a CRC-32C trailer, assembling the
 // on-disk frame in a pooled buffer instead of allocating one per block.
 func (s *Store) writeBlock(path string, data []byte) error {
-	if len(data) != s.manifest.BlockSize {
-		return fmt.Errorf("hdfsraid: writeBlock got %d bytes, want %d", len(data), s.manifest.BlockSize)
+	if len(data) != s.blockSize {
+		return fmt.Errorf("hdfsraid: writeBlock got %d bytes, want %d", len(data), s.blockSize)
 	}
 	frame := s.framePool.Get()
 	defer s.framePool.Put(frame)
@@ -536,22 +624,24 @@ func readBlockInto(path string, frame []byte) ([]byte, error) {
 	return data, nil
 }
 
-// writeFileBlocks encodes data under cc and writes every symbol
-// replica of every stripe to its placement node, appending suffix to
-// each block path. Encoding and disk writes run through the striper's
-// streaming pipeline: a bounded worker pool encodes one stripe from
-// pooled buffers while others are being written, and every buffer is
-// recycled the moment its blocks are on disk. It returns the paths
-// written (without suffix), including those written before a failure,
-// so callers can clean up staged blocks.
-func (s *Store) writeFileBlocks(name string, cc codec, data []byte, suffix string) ([]string, error) {
+// writeExtentBlocks encodes one extent's data under cc and writes
+// every symbol replica of every stripe to its placement node,
+// appending suffix to each block path. data is the extent's bytes (the
+// tail block may be partial; padding blocks are zero-filled from the
+// pool). Encoding and disk writes run through the striper's streaming
+// pipeline: a bounded worker pool encodes one stripe from pooled
+// buffers while others are being written, and every buffer is recycled
+// the moment its blocks are on disk. It returns the paths written
+// (without suffix), including those written before a failure, so
+// callers can clean up staged blocks.
+func (s *Store) writeExtentBlocks(name string, fi FileInfo, ext int, cc codec, data []byte, suffix string) ([]string, error) {
 	p := cc.code.Placement()
 	var mu sync.Mutex
 	var written []string
 	err := cc.striper.EncodeStream(data, 0, s.payloadPool, func(stripe core.EncodedStripe) error {
 		for sym, buf := range stripe.Symbols {
 			for _, v := range p.SymbolNodes[sym] {
-				path := s.blockPath(v, name, stripe.Index, sym)
+				path := s.extentBlockPath(v, name, fi, ext, stripe.Index, sym)
 				if err := s.writeBlock(path+suffix, buf); err != nil {
 					return err
 				}
@@ -565,21 +655,51 @@ func (s *Store) writeFileBlocks(name string, cc codec, data []byte, suffix strin
 	return written, err
 }
 
-// Put stripes, encodes and stores a file, writing every symbol replica
-// to its placement node.
-func (s *Store) Put(name string, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// checkNewFile validates a Put/PutReader target name. Caller holds mu.
+func (s *Store) checkNewFile(name string) error {
 	if name == "" || filepath.Base(name) != name {
 		return fmt.Errorf("hdfsraid: invalid file name %q", name)
 	}
 	if _, dup := s.manifest.Files[name]; dup {
 		return fmt.Errorf("hdfsraid: file %q already stored", name)
 	}
-	if _, err := s.writeFileBlocks(name, codec{s.code, s.striper}, data, ""); err != nil {
+	return nil
+}
+
+// Put stripes, encodes and stores a file, writing every symbol replica
+// to its placement node. With extents enabled (CreateExt), the file is
+// split into extent-sized runs, each striped independently so it can
+// later change tier on its own.
+func (s *Store) Put(name string, data []byte) error {
+	// The ingest lock serializes this Put against a concurrent
+	// PutReader of the same name, whose block writes happen outside
+	// the manifest lock.
+	s.lockMove(ingestKey(name))
+	defer s.unlockMove(ingestKey(name))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkNewFile(name); err != nil {
 		return err
 	}
-	s.manifest.Files[name] = FileInfo{Length: len(data), Stripes: s.striper.StripeCount(len(data))}
+	fi := FileInfo{
+		Length:      len(data),
+		Extents:     s.buildExtents(len(data)),
+		ExtentPaths: s.extentBlocks > 0,
+	}
+	refreshSummary(&fi)
+	bs := s.blockSize
+	cc := codec{s.code, s.striper}
+	for i, e := range fi.Extents {
+		lo := e.Start * bs
+		hi := (e.Start + e.Blocks) * bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if _, err := s.writeExtentBlocks(name, fi, i, cc, data[lo:hi], ""); err != nil {
+			return err
+		}
+	}
+	s.manifest.Files[name] = fi
 	return s.saveManifest()
 }
 
@@ -605,28 +725,39 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("hdfsraid: no such file %q", name)
 	}
-	if !internal && s.OnRead != nil {
-		s.OnRead(name)
+	if !internal {
+		if s.OnRead != nil {
+			s.OnRead(name)
+		}
+		if s.OnReadExtent != nil {
+			for i := range fi.Extents {
+				s.OnReadExtent(name, i)
+			}
+		}
 	}
-	cc, err := s.fileCodec(fi)
+	ccs, err := s.extentCodecs(fi)
 	if err != nil {
 		return nil, err
 	}
-	if want := cc.striper.StripeCount(fi.Length); want != fi.Stripes {
-		return nil, fmt.Errorf("hdfsraid: %q has %d stripes, want %d for %d bytes", name, fi.Stripes, want, fi.Length)
-	}
-	p := cc.code.Placement()
-	k := cc.code.DataSymbols()
-	nsym := cc.code.Symbols()
-	bs := s.manifest.BlockSize
+	bs := s.blockSize
 	out := make([]byte, fi.Length)
-	if fi.Stripes == 0 {
+	// Flatten the extent map into independent (extent, stripe) jobs a
+	// worker pool drains: stripes of different extents decode with
+	// different codes but share the frame pool and the output buffer.
+	type stripeJob struct{ ext, stripe int }
+	var jobs []stripeJob
+	for e, ext := range fi.Extents {
+		for i := 0; i < ext.Stripes; i++ {
+			jobs = append(jobs, stripeJob{e, i})
+		}
+	}
+	if len(jobs) == 0 {
 		return out, nil
 	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > fi.Stripes {
-		workers = fi.Stripes
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 	errs := make([]error, workers)
 	var failed atomic.Bool
@@ -650,15 +781,25 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 				}
 				return s.framePool.Get()
 			}
-			symbols := make([][]byte, nsym)
-			used := make([][]byte, 0, nsym)
-			for i := w; i < fi.Stripes && !failed.Load(); i += workers {
+			var symbols, used [][]byte
+			for j := w; j < len(jobs) && !failed.Load(); j += workers {
+				ext, i := jobs[j].ext, jobs[j].stripe
+				e := fi.Extents[ext]
+				cc := ccs[ext]
+				p := cc.code.Placement()
+				k := cc.code.DataSymbols()
+				nsym := cc.code.Symbols()
+				if cap(symbols) < nsym {
+					symbols = make([][]byte, nsym)
+					used = make([][]byte, 0, nsym)
+				}
+				symbols = symbols[:nsym]
 				used = used[:0]
 				for sym := 0; sym < nsym; sym++ {
 					symbols[sym] = nil
 					for _, v := range p.SymbolNodes[sym] {
 						frame := getFrame()
-						data, err := readBlockInto(s.blockPath(v, name, i, sym), frame)
+						data, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
 						if err != nil {
 							frames = append(frames, frame)
 							continue
@@ -670,11 +811,15 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 				}
 				data, err := cc.code.Decode(symbols)
 				if err != nil {
-					errs[w] = fmt.Errorf("hdfsraid: decoding %q stripe %d: %w", name, i, err)
+					errs[w] = fmt.Errorf("hdfsraid: decoding %q extent %d stripe %d: %w", name, ext, i, err)
 					failed.Store(true)
 				} else {
-					for j := 0; j < k; j++ {
-						off := (i*k + j) * bs
+					for b := 0; b < k; b++ {
+						g := e.Start + i*k + b // file-global data block
+						if g >= e.Start+e.Blocks {
+							break // extent tail padding
+						}
+						off := g * bs
 						if off >= len(out) {
 							break
 						}
@@ -682,7 +827,7 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 						if n > bs {
 							n = bs
 						}
-						copy(out[off:off+n], data[j][:n])
+						copy(out[off:off+n], data[b][:n])
 					}
 				}
 				frames = append(frames, used...)
@@ -718,22 +863,29 @@ type RepairReport struct {
 
 // Repair rebuilds the given failed nodes for every stored file by
 // planning and executing each stripe's repair against the on-disk
-// blocks. Only the plans' transfers touch data from other nodes, so
-// the report's Transfers is the true network bill. When the Heat hook
-// is set, hot files are repaired before cold ones, so the files
+// blocks, extent by extent (each extent's code plans its own repair).
+// Only the plans' transfers touch data from other nodes, so the
+// report's Transfers is the true network bill. When the Heat hook is
+// set, hot files are repaired before cold ones, so the files
 // foreground traffic cares about most regain their replicas first —
-// and before any error cuts the pass short.
+// and before any error cuts the pass short. Per-file repair work is
+// independent, so files fan out to a GOMAXPROCS-bounded worker pool
+// (the same shape Rebalance uses for moves): workers pull files in
+// heat order, and on error the remaining queue is abandoned while
+// in-flight repairs drain.
 func (s *Store) Repair(failed []int) (RepairReport, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var rep RepairReport
-	// Reject out-of-range node indices up front: the per-file filter
-	// below must only drop nodes a *narrower* file code doesn't span,
-	// never hide a typo as a successful no-op repair.
+	// Reject out-of-range node indices up front: the per-extent filter
+	// below must only drop nodes a *narrower* extent code doesn't
+	// span, never hide a typo as a successful no-op repair.
 	max := s.code.Nodes()
 	for _, fi := range s.manifest.Files {
-		if cc, err := s.fileCodec(fi); err == nil && cc.code.Nodes() > max {
-			max = cc.code.Nodes()
+		for _, e := range fi.Extents {
+			if cc, err := s.codecByName(e.Code); err == nil && cc.code.Nodes() > max {
+				max = cc.code.Nodes()
+			}
 		}
 	}
 	for _, f := range failed {
@@ -756,9 +908,55 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 			return names[i] < names[j]
 		})
 	}
-	for _, name := range names {
-		fi := s.manifest.Files[name]
-		cc, err := s.fileCodec(fi)
+	if len(names) == 0 {
+		return rep, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var (
+		next     atomic.Int64
+		failedOp atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failedOp.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(names) {
+					return
+				}
+				name := names[i]
+				frep, err := s.repairFile(name, s.manifest.Files[name], failed)
+				mu.Lock()
+				rep.Stripes += frep.Stripes
+				rep.Transfers += frep.Transfers
+				rep.BlocksRestored += frep.BlocksRestored
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					failedOp.Store(true)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return rep, firstErr
+}
+
+// repairFile rebuilds one file's blocks on the failed nodes, extent by
+// extent. Caller holds mu's read side.
+func (s *Store) repairFile(name string, fi FileInfo, failed []int) (RepairReport, error) {
+	var rep RepairReport
+	for ext, e := range fi.Extents {
+		cc, err := s.codecByName(e.Code)
 		if err != nil {
 			return rep, err
 		}
@@ -766,25 +964,26 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 		if !ok {
 			return rep, fmt.Errorf("hdfsraid: code %s cannot plan repairs", cc.code.Name())
 		}
-		// Nodes beyond this file's code length hold none of its blocks.
-		var fileFailed []int
+		// Nodes beyond this extent's code length hold none of its
+		// blocks.
+		var extFailed []int
 		for _, f := range failed {
 			if f < cc.code.Nodes() {
-				fileFailed = append(fileFailed, f)
+				extFailed = append(extFailed, f)
 			}
 		}
-		if len(fileFailed) == 0 {
+		if len(extFailed) == 0 {
 			continue
 		}
 		p := cc.code.Placement()
 		// The failure pattern is fixed across stripes, so plan once and
 		// execute per stripe with pooled frames and payloads.
-		plan, err := planner.PlanRepair(fileFailed)
+		plan, err := planner.PlanRepair(extFailed)
 		if err != nil {
 			return rep, err
 		}
 		isFailed := map[int]bool{}
-		for _, f := range fileFailed {
+		for _, f := range extFailed {
 			isFailed[f] = true
 		}
 		var frames [][]byte
@@ -794,7 +993,7 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 			}
 			frames = frames[:0]
 		}
-		for i := 0; i < fi.Stripes; i++ {
+		for i := 0; i < e.Stripes; i++ {
 			// Load surviving node contents into pooled frames.
 			nc := make(core.NodeContents, cc.code.Nodes())
 			for v := range nc {
@@ -804,7 +1003,7 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 				}
 				for _, sym := range p.NodeSymbols[v] {
 					frame := s.framePool.Get()
-					data, err := readBlockInto(s.blockPath(v, name, i, sym), frame)
+					data, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
 					if err != nil {
 						s.framePool.Put(frame)
 						continue // tolerate extra damage; the plan will fail loudly if fatal
@@ -813,21 +1012,21 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 					nc[v][sym] = data
 				}
 			}
-			if err := core.ExecuteRepairPooled(nc, plan, s.manifest.BlockSize, s.payloadPool); err != nil {
+			if err := core.ExecuteRepairPooled(nc, plan, s.blockSize, s.payloadPool); err != nil {
 				releaseFrames()
-				return rep, fmt.Errorf("hdfsraid: %s stripe %d: %w", name, i, err)
+				return rep, fmt.Errorf("hdfsraid: %s extent %d stripe %d: %w", name, ext, i, err)
 			}
 			// Persist the restored replicas, recycling each recovered
 			// buffer (drawn from the payload pool by the executor) the
 			// moment it is on disk.
-			for _, f := range fileFailed {
+			for _, f := range extFailed {
 				for _, sym := range p.NodeSymbols[f] {
 					buf, ok := nc[f][sym]
 					if !ok {
 						releaseFrames()
-						return rep, fmt.Errorf("hdfsraid: %s stripe %d: symbol %d not restored on node %d", name, i, sym, f)
+						return rep, fmt.Errorf("hdfsraid: %s extent %d stripe %d: symbol %d not restored on node %d", name, ext, i, sym, f)
 					}
-					if err := s.writeBlock(s.blockPath(f, name, i, sym), buf); err != nil {
+					if err := s.writeBlock(s.extentBlockPath(f, name, fi, ext, i, sym), buf); err != nil {
 						releaseFrames()
 						return rep, err
 					}
@@ -863,24 +1062,26 @@ func (s *Store) Fsck() (FsckReport, error) {
 	defer s.framePool.Put(frame)
 	for _, name := range s.filesLocked() {
 		fi := s.manifest.Files[name]
-		cc, err := s.fileCodec(fi)
-		if err != nil {
-			return rep, err
-		}
-		p := cc.code.Placement()
-		for i := 0; i < fi.Stripes; i++ {
-			for sym := 0; sym < cc.code.Symbols(); sym++ {
-				for _, v := range p.SymbolNodes[sym] {
-					rep.Blocks++
-					_, err := readBlockInto(s.blockPath(v, name, i, sym), frame)
-					switch {
-					case err == nil:
-					case errors.Is(err, ErrCorrupt):
-						rep.Corrupt++
-					case os.IsNotExist(err):
-						rep.Missing++
-					default:
-						return rep, err
+		for ext, e := range fi.Extents {
+			cc, err := s.codecByName(e.Code)
+			if err != nil {
+				return rep, err
+			}
+			p := cc.code.Placement()
+			for i := 0; i < e.Stripes; i++ {
+				for sym := 0; sym < cc.code.Symbols(); sym++ {
+					for _, v := range p.SymbolNodes[sym] {
+						rep.Blocks++
+						_, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
+						switch {
+						case err == nil:
+						case errors.Is(err, ErrCorrupt):
+							rep.Corrupt++
+						case os.IsNotExist(err):
+							rep.Missing++
+						default:
+							return rep, err
+						}
 					}
 				}
 			}

@@ -11,74 +11,125 @@ import (
 	"repro/internal/core"
 )
 
-// TranscodeReport summarizes one online transcode.
+// TranscodeReport summarizes one online transcode (of a whole file or
+// a single extent).
 type TranscodeReport struct {
 	From, To       string // code names
+	Extents        int    // extents moved
 	Stripes        int    // stripes written under the new code
 	BlocksWritten  int    // physical block replicas written
 	BlocksRemoved  int    // old block replicas deleted
 	DataBlocksRead int    // data blocks recovered from the old code
 }
 
+// add folds one extent move's counters into an aggregate report.
+func (r *TranscodeReport) add(o TranscodeReport) {
+	r.Extents += o.Extents
+	r.Stripes += o.Stripes
+	r.BlocksWritten += o.BlocksWritten
+	r.BlocksRemoved += o.BlocksRemoved
+	r.DataBlocksRead += o.DataBlocksRead
+}
+
 // tmpSuffix marks staged transcode blocks; they become visible only
 // after every stripe of the new encoding is safely on disk.
 const tmpSuffix = ".tc"
 
-// Transcode re-encodes a stored file from its current code to the
-// named registered code without losing data: the file is recovered
-// through the old code's (possibly degraded) read path, re-striped and
-// re-encoded under the new code, staged beside the old blocks, and
-// only then swapped in and recorded in the manifest. It is the move
-// primitive of the hot/cold tiering layer: promote cold RS files to a
-// double-replication code when they heat up, demote them back when
-// they cool.
+// moveKey names the per-move lock for one extent of one file.
+func moveKey(name string, ext int) string {
+	return fmt.Sprintf("%s\x00%d", name, ext)
+}
+
+// Transcode re-encodes a stored file from its current code(s) to the
+// named registered code without losing data, extent by extent: each
+// extent not already on the target runs through TranscodeExtent, so a
+// partially tiered file converges and a crash strands at most the
+// in-flight extent (which recovery completes). The report aggregates
+// every extent moved; From is the first moved extent's source code.
+func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
+	newCC, err := s.codecByName(codeName)
+	if err != nil {
+		return TranscodeReport{}, err
+	}
+	exts, ok := s.Extents(name)
+	if !ok {
+		return TranscodeReport{}, fmt.Errorf("hdfsraid: no such file %q", name)
+	}
+	rep := TranscodeReport{To: newCC.code.Name()}
+	for i := range exts {
+		extRep, err := s.TranscodeExtent(name, i, codeName)
+		if err != nil {
+			return rep, err
+		}
+		if rep.From == "" {
+			rep.From = extRep.From
+		}
+		rep.add(extRep)
+	}
+	return rep, nil
+}
+
+// TranscodeExtent re-encodes one extent of a stored file from its
+// current code to the named registered code without losing data: the
+// extent's data blocks are recovered through the old code's (possibly
+// degraded) read path, re-striped and re-encoded under the new code,
+// staged beside the old blocks, and only then swapped in and recorded
+// in the manifest. It is the move primitive of the hot/cold tiering
+// layer at extent granularity: only the target extent's stripes move,
+// so promoting the hot head of a large cold file costs the head, not
+// the file.
 //
-// The data plane streams: both codes stripe at the store's block size,
-// so data block g of the file under the new layout is exactly data
-// block g under the old one, and a worker pool reads each new stripe's
-// blocks through the old code (healthy replica or partial-parity
-// degraded read) straight into the encoder's pooled buffers. Peak
-// memory is O(stripes in flight) — a few block frames per worker —
-// never O(file), so a rebalance scan can move arbitrarily large files
-// without ballooning the process.
+// The data plane streams: both codes stripe the extent at the store's
+// block size, so extent-local data block l under the new layout is
+// exactly data block l under the old one, and a worker pool reads each
+// new stripe's blocks through the old code (healthy replica or
+// partial-parity degraded read) straight into the encoder's pooled
+// buffers. Peak memory is O(stripes in flight) — a few block frames
+// per worker — never O(extent), so a rebalance scan can move
+// arbitrarily large extents without ballooning the process.
 //
-// Moves of distinct files run concurrently: each holds only its
-// per-file lock plus, briefly, the manifest lock for the journal and
-// swap phases. Two moves of one file serialize on the file lock.
+// Moves of distinct extents (of the same or different files) run
+// concurrently: each holds only its per-extent lock plus, briefly, the
+// manifest lock for the journal and swap phases. Two moves of one
+// extent serialize.
 //
 // The swap is crash-exact: before any old block is touched, the full
-// move — file, codes, staged-block list — is journaled as a
+// move — file, extent, codes, staged-block list — is journaled as a
 // TranscodeIntent in the manifest's journal queue, and each
 // destructive phase advances the journal state first. A process killed
 // at any point, with any number of moves in flight, leaves a store
 // that Open's recovery pass (see Recover) rolls forward to the new
-// code or back to the old one, file by file, byte-identical either
+// code or back to the old one, extent by extent, byte-identical either
 // way.
-func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
+func (s *Store) TranscodeExtent(name string, ext int, codeName string) (TranscodeReport, error) {
 	// Hold the move path's read side (Recover takes the write side),
 	// the store's process-exclusive move flock (so another process
 	// can neither move concurrently against a stale manifest nor
 	// sweep this move's staged blocks in its startup recovery), and
-	// this file's move lock, for the whole operation.
+	// this extent's move lock, for the whole operation.
 	s.opMu.RLock()
 	defer s.opMu.RUnlock()
 	if err := s.lockStoreForMove(); err != nil {
 		return TranscodeReport{}, err
 	}
 	defer s.unlockStoreForMove()
-	s.lockMove(name)
-	defer s.unlockMove(name)
+	s.lockMove(moveKey(name, ext))
+	defer s.unlockMove(moveKey(name, ext))
 
 	fi, ok := s.Info(name)
 	if !ok {
 		return TranscodeReport{}, fmt.Errorf("hdfsraid: no such file %q", name)
 	}
-	oldCC, err := s.fileCodec(fi)
+	if ext < 0 || ext >= len(fi.Extents) {
+		return TranscodeReport{}, fmt.Errorf("hdfsraid: %q has no extent %d", name, ext)
+	}
+	e := fi.Extents[ext]
+	oldCC, err := s.codecByName(e.Code)
 	if err != nil {
 		return TranscodeReport{}, err
 	}
 	rep := TranscodeReport{From: oldCC.code.Name()}
-	newCC, err := s.fileCodec(FileInfo{Code: codeName})
+	newCC, err := s.codecByName(codeName)
 	if err != nil {
 		return rep, err
 	}
@@ -86,15 +137,15 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	if newCC.code.Name() == oldCC.code.Name() {
 		return rep, nil // already on the target code
 	}
-	// A move of this file that failed between journaling its intent and
-	// committing (e.g. ENOSPC mid-swap) left its journal entry as the
-	// only recovery map for the file — never stage over it; make the
-	// caller run Recover first. Moves of other files proceed.
+	// A move of this extent that failed between journaling its intent
+	// and committing (e.g. ENOSPC mid-swap) left its journal entry as
+	// the only recovery map for the extent — never stage over it; make
+	// the caller run Recover first. Moves of other extents proceed.
 	s.mu.RLock()
-	pending := s.queuedIntent(name)
+	pending := s.queuedIntent(name, ext)
 	s.mu.RUnlock()
 	if pending != nil {
-		return rep, fmt.Errorf("hdfsraid: transcode of %q pending in journal; run Recover before moving it again", name)
+		return rep, fmt.Errorf("hdfsraid: transcode of %q extent %d pending in journal; run Recover before moving it again", name, ext)
 	}
 
 	// Stream the re-encoding: per-stripe (possibly degraded) reads
@@ -103,13 +154,13 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	if err := s.ensureNodeDirs(newCC.code.Nodes()); err != nil {
 		return rep, err
 	}
-	staged, blocksRead, err := s.transcodeStream(name, fi, oldCC, newCC)
+	staged, blocksRead, err := s.transcodeExtentStream(name, fi, ext, oldCC, newCC)
 	if err != nil {
 		removeAll(staged)
-		return rep, fmt.Errorf("hdfsraid: transcode %q: %w", name, err)
+		return rep, fmt.Errorf("hdfsraid: transcode %q extent %d: %w", name, ext, err)
 	}
 	rep.DataBlocksRead = blocksRead
-	stripeCount := newCC.striper.StripeCount(fi.Length)
+	stripeCount := stripesFor(e.Blocks, newCC.code.DataSymbols())
 	if err := s.kill("staged"); err != nil {
 		return rep, err // simulated crash: orphan .tc blocks, no journal record
 	}
@@ -119,19 +170,20 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	// failure paths must NOT clean up staged blocks.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cur := s.manifest.Files[name]; cur != fi {
+	cur, ok := s.manifest.Files[name]
+	if !ok || cur.Length != fi.Length || ext >= len(cur.Extents) || cur.Extents[ext] != e {
 		removeAll(staged)
 		return rep, fmt.Errorf("hdfsraid: file %q changed during transcode", name)
 	}
-	// The journal needs registry names (fileCodec keys), not the
+	// The journal needs registry names (codec cache keys), not the
 	// codes' display names.
-	fromName := fi.Code
+	fromName := e.Code
 	if fromName == "" {
-		fromName = s.manifest.CodeName
+		fromName = s.codeName
 	}
 	in := &TranscodeIntent{
-		File: name, From: fromName, To: codeName,
-		Length: fi.Length, OldStripes: fi.Stripes, NewStripes: stripeCount,
+		File: name, Extent: ext, From: fromName, To: codeName,
+		Length: fi.Length, OldStripes: e.Stripes, NewStripes: stripeCount,
 		State: IntentStaged,
 	}
 	for _, path := range staged {
@@ -167,46 +219,63 @@ func (s *Store) Transcode(name, codeName string) (TranscodeReport, error) {
 	rep.BlocksRemoved = swap.removed
 	rep.BlocksWritten = swap.renamed
 	rep.Stripes = stripeCount
+	rep.Extents = 1
 	if err := s.kill("swapped"); err != nil {
 		return rep, err // simulated crash: swap done, commit pending
 	}
-	s.manifest.Files[name] = FileInfo{Length: fi.Length, Stripes: stripeCount, Code: codeName}
+	s.commitIntentLocked(in)
 	s.removeIntent(in)
 	return rep, s.saveManifest()
 }
 
-// transcodeStream stages the file's re-encoding under newCC through
-// the striper's source-driven pipeline: each worker reads one new
-// stripe's data blocks through the old code's read path (healthy
+// commitIntentLocked records a finished extent move in the file table:
+// the extent's code and stripe count change, its data-block range
+// never does. Caller holds mu and saves the manifest afterwards.
+func (s *Store) commitIntentLocked(in *TranscodeIntent) {
+	fi := s.manifest.Files[in.File]
+	if in.Extent < 0 || in.Extent >= len(fi.Extents) {
+		return
+	}
+	exts := append([]Extent(nil), fi.Extents...)
+	exts[in.Extent].Code = in.To
+	exts[in.Extent].Stripes = in.NewStripes
+	fi.Extents = exts
+	refreshSummary(&fi)
+	s.manifest.Files[in.File] = fi
+}
+
+// transcodeExtentStream stages the extent's re-encoding under newCC
+// through the striper's source-driven pipeline: each worker reads one
+// new stripe's data blocks through the old code's read path (healthy
 // replica first, partial-parity degraded read when both replicas are
 // gone) into pooled buffers it reuses across stripes, encodes, and
 // writes every staged replica before touching the next stripe. It
 // returns the staged final paths (without the .tc suffix), including
 // those written before a failure so callers can clean up, plus the
-// number of source data blocks actually read.
-func (s *Store) transcodeStream(name string, fi FileInfo, oldCC, newCC codec) ([]string, int, error) {
-	bs := s.manifest.BlockSize
+// number of source data blocks actually read — bounded by the extent's
+// blocks, never the file's.
+func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, newCC codec) ([]string, int, error) {
+	e := fi.Extents[ext]
 	kOld := oldCC.code.DataSymbols()
 	kNew := newCC.code.DataSymbols()
-	dataBlocks := (fi.Length + bs - 1) / bs
 	p := newCC.code.Placement()
 	var read atomic.Int64
 	var mu sync.Mutex
 	var staged []string
 	fill := func(stripe int, blocks [][]byte) error {
 		for j, dst := range blocks {
-			// Both layouts stripe the same block sequence, so new
-			// stripe/symbol (stripe, j) is global data block g, which
-			// the old layout stores at (g/kOld, g%kOld). Blocks past
-			// the file's data are padding: zero them (stored padding
-			// blocks are zero too, but need no disk read).
-			g := stripe*kNew + j
-			if g >= dataBlocks {
+			// Both layouts stripe the extent's block sequence, so new
+			// stripe/symbol (stripe, j) is extent-local data block l,
+			// which the old layout stores at (l/kOld, l%kOld). Blocks
+			// past the extent's data are padding: zero them (stored
+			// padding blocks are zero too, but need no disk read).
+			l := stripe*kNew + j
+			if l >= e.Blocks {
 				clear(dst)
 				continue
 			}
-			if _, err := s.readDataBlockInto(dst, oldCC, name, g/kOld, g%kOld); err != nil {
-				return fmt.Errorf("reading data block %d: %w", g, err)
+			if _, err := s.readDataBlockInto(dst, oldCC, name, fi, ext, l/kOld, l%kOld); err != nil {
+				return fmt.Errorf("reading data block %d: %w", e.Start+l, err)
 			}
 			read.Add(1)
 		}
@@ -215,7 +284,7 @@ func (s *Store) transcodeStream(name string, fi FileInfo, oldCC, newCC codec) ([
 	emit := func(stripe core.EncodedStripe) error {
 		for sym, buf := range stripe.Symbols {
 			for _, v := range p.SymbolNodes[sym] {
-				path := s.blockPath(v, name, stripe.Index, sym)
+				path := s.extentBlockPath(v, name, fi, ext, stripe.Index, sym)
 				if err := s.writeBlock(path+tmpSuffix, buf); err != nil {
 					return err
 				}
@@ -243,7 +312,8 @@ func (s *Store) transcodeStream(name string, fi FileInfo, oldCC, newCC codec) ([
 		workers = granted
 	}
 	defer s.encodeWorkers.Add(-int64(workers))
-	err := newCC.striper.EncodeStreamFrom(newCC.striper.StripeCount(fi.Length), workers, s.payloadPool, fill, emit)
+	count := stripesFor(e.Blocks, kNew)
+	err := newCC.striper.EncodeStreamFrom(count, workers, s.payloadPool, fill, emit)
 	return staged, int(read.Load()), err
 }
 
@@ -259,15 +329,42 @@ func removeAll(staged []string) {
 // block size: data blocks read plus physical replicas written. It lets
 // policy engines price a move without performing it.
 func (s *Store) TranscodeCost(length int, fromName, toName string) (int, error) {
-	from, err := s.fileCodec(FileInfo{Code: fromName})
+	from, err := s.codecByName(fromName)
 	if err != nil {
 		return 0, err
 	}
-	to, err := s.fileCodec(FileInfo{Code: toName})
+	to, err := s.codecByName(toName)
 	if err != nil {
 		return 0, err
 	}
 	read := from.striper.StripeCount(length) * from.code.DataSymbols()
 	written := to.striper.StripeCount(length) * to.code.Placement().TotalBlocks()
+	return read + written, nil
+}
+
+// TranscodeExtentCost prices one extent's move to the named code in
+// block units — the extent-scoped admission estimate the rate-limited
+// tier daemon budgets against.
+func (s *Store) TranscodeExtentCost(name string, ext int, toName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, ok := s.manifest.Files[name]
+	if !ok || ext < 0 || ext >= len(fi.Extents) {
+		return 0, fmt.Errorf("hdfsraid: no such extent %q/%d", name, ext)
+	}
+	e := fi.Extents[ext]
+	from, err := s.codecByName(e.Code)
+	if err != nil {
+		return 0, err
+	}
+	to, err := s.codecByName(toName)
+	if err != nil {
+		return 0, err
+	}
+	if from.code.Name() == to.code.Name() {
+		return 0, nil
+	}
+	read := e.Stripes * from.code.DataSymbols()
+	written := stripesFor(e.Blocks, to.code.DataSymbols()) * to.code.Placement().TotalBlocks()
 	return read + written, nil
 }

@@ -76,6 +76,12 @@ type MoveCoster interface {
 	MoveCost(name, codeName string) (blocks int, err error)
 }
 
+// ExtentMoveCoster prices a single extent's move, the admission
+// estimate for extent-granular targets.
+type ExtentMoveCoster interface {
+	ExtentMoveCost(name string, ext int, codeName string) (blocks int, err error)
+}
+
 // DaemonConfig parameterizes the background rebalance daemon.
 type DaemonConfig struct {
 	// Interval is the seconds between rebalance scans (> 0).
@@ -92,6 +98,16 @@ type DaemonConfig struct {
 	// BlockBytes converts the target's block-unit move costs to bytes
 	// (required when BytesPerSec > 0).
 	BlockBytes int
+	// AdmitHorizon bounds how far ahead of a scan the transfer pacer
+	// may book admitted moves, in seconds: a scan stops admitting once
+	// the next move's paced window would end beyond now+AdmitHorizon,
+	// deferring it (and everything colder) to a later scan. In-flight
+	// paced windows thus feed back into admission — a scan only admits
+	// what the budget horizon can absorb, instead of booking an
+	// unbounded backlog the bucket's burst happens to cover. 0
+	// disables the horizon check. Only meaningful with BytesPerSec >
+	// 0 (pacing needs a rate).
+	AdmitHorizon float64
 	// Now supplies the clock for Start-driven ticks; defaults to wall
 	// time in seconds. Simulations bypass it by calling Tick directly.
 	Now func() float64
@@ -205,14 +221,35 @@ func (d *Daemon) Tick(now float64) ([]MoveResult, error) {
 	for i, mv := range moves {
 		var est float64
 		if d.bucket != nil {
-			if coster, ok := d.m.Target.(MoveCoster); ok {
-				blocks, err := coster.MoveCost(mv.Name, mv.To)
-				if err != nil {
-					d.stats.Errors++
-					d.lastErr = err
-					return done, fmt.Errorf("tier: pricing %q -> %s: %w", mv.Name, mv.To, err)
-				}
+			blocks, priced, err := d.priceMove(mv)
+			if err != nil {
+				d.stats.Errors++
+				d.lastErr = err
+				return done, fmt.Errorf("tier: pricing %q -> %s: %w", mv.Name, mv.To, err)
+			}
+			if priced {
 				est = float64(blocks * d.cfg.BlockBytes)
+			}
+			// Horizon feedback: the pacer has booked transfer windows
+			// through paceUntil; if this move's window would end past
+			// the admission horizon, the scan stops here and leaves the
+			// move (and everything colder) for a later scan to admit —
+			// the budget's in-flight backlog caps what a scan takes on.
+			// A move whose window alone exceeds the horizon can never
+			// fit, so it is admitted from an idle pacer (no booked
+			// backlog) rather than starving forever — the same escape
+			// the bucket gives over-burst moves below.
+			if d.cfg.AdmitHorizon > 0 && d.cfg.BytesPerSec > 0 {
+				start := now
+				if start < d.paceUntil {
+					start = d.paceUntil
+				}
+				dur := est / d.cfg.BytesPerSec
+				oversized := dur > d.cfg.AdmitHorizon && start <= now
+				if start+dur > now+d.cfg.AdmitHorizon && !oversized {
+					d.stats.Deferred += len(moves) - i
+					break
+				}
 			}
 			admitted := d.bucket.Take(now, est)
 			if !admitted && est > d.bucket.Burst() && d.bucket.Available(now) >= d.bucket.Burst() {
@@ -267,6 +304,25 @@ func (d *Daemon) Tick(now float64) ([]MoveResult, error) {
 		done = append(done, res)
 	}
 	return done, nil
+}
+
+// priceMove estimates one move's block cost through the target's
+// coster interfaces: the extent-scoped price for extent moves when the
+// target offers one, the whole-file price otherwise. priced is false
+// when the target cannot price moves at all (the daemon then meters
+// after the fact).
+func (d *Daemon) priceMove(mv Move) (blocks int, priced bool, err error) {
+	if mv.Ext >= 0 {
+		if coster, ok := d.m.Target.(ExtentMoveCoster); ok {
+			blocks, err = coster.ExtentMoveCost(mv.Name, mv.Ext, mv.To)
+			return blocks, true, err
+		}
+	}
+	if coster, ok := d.m.Target.(MoveCoster); ok {
+		blocks, err = coster.MoveCost(mv.Name, mv.To)
+		return blocks, true, err
+	}
+	return 0, false, nil
 }
 
 // Start launches the background rebalance goroutine, ticking every

@@ -252,6 +252,103 @@ func TestDaemonPacedWindows(t *testing.T) {
 	}
 }
 
+// TestDaemonAdmitHorizon: with an admission horizon, a scan stops
+// admitting once the pacer's booked transfer windows would run past
+// now+horizon — even though the token bucket's burst could cover more
+// — so in-flight paced windows feed back into admission and later
+// scans pick up the deferred moves as the backlog drains.
+func TestDaemonAdmitHorizon(t *testing.T) {
+	ft := newFakeTarget(10, map[string]string{
+		"a": "rs-14-10", "b": "rs-14-10", "c": "rs-14-10",
+	})
+	tr := NewTracker(0)
+	tr.TouchN("a", 30, 0)
+	tr.TouchN("b", 20, 0)
+	tr.TouchN("c", 10, 0)
+	m, err := NewManager(ft, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each move costs 10 bytes = 10 s of wire time at 1 B/s. The burst
+	// (30) covers all three moves at once, but a 15 s horizon only
+	// absorbs one move's window per scan.
+	d, err := NewDaemon(m, DaemonConfig{
+		Interval: 10, BytesPerSec: 1, Burst: 30, BlockBytes: 1, AdmitHorizon: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := d.Tick(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Name != "a" {
+		t.Fatalf("tick 1 = %+v, want only the hottest move inside the horizon", moves)
+	}
+	if moves[0].Start != 10 || moves[0].Duration != 10 {
+		t.Fatalf("a window = [%v,+%v), want [10,+10)", moves[0].Start, moves[0].Duration)
+	}
+	if st := d.Stats(); st.Deferred != 2 {
+		t.Fatalf("tick 1 stats = %+v, want 2 horizon deferrals", st)
+	}
+	// t=20: a's window just drained; b fits, c's window would end at
+	// 40 > 35 and defers again.
+	moves, err = d.Tick(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Name != "b" {
+		t.Fatalf("tick 2 = %+v, want b", moves)
+	}
+	if moves, err = d.Tick(30); err != nil || len(moves) != 1 || moves[0].Name != "c" {
+		t.Fatalf("tick 3 = %+v, %v; want c", moves, err)
+	}
+	if st := d.Stats(); st.Moves != 3 || st.Deferred != 3 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+// TestDaemonAdmitHorizonOversizedMove: a move whose transfer window
+// alone exceeds the horizon can never fit, so it must be admitted
+// from an idle pacer instead of starving the whole queue forever —
+// while the backlog it books still defers everything behind it.
+func TestDaemonAdmitHorizonOversizedMove(t *testing.T) {
+	ft := newFakeTarget(100, map[string]string{"big": "rs-14-10", "small": "rs-14-10"})
+	tr := NewTracker(0)
+	tr.TouchN("big", 20, 0)
+	tr.TouchN("small", 10, 0)
+	m, err := NewManager(ft, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// big costs 100 bytes = 100 s of wire at 1 B/s, far over the 15 s
+	// horizon; the burst covers both moves at once.
+	d, err := NewDaemon(m, DaemonConfig{
+		Interval: 10, BytesPerSec: 1, Burst: 200, BlockBytes: 1, AdmitHorizon: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, err := d.Tick(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].Name != "big" {
+		t.Fatalf("tick 1 = %+v, want the oversized move admitted, not starved", moves)
+	}
+	if st := d.Stats(); st.Deferred != 1 {
+		t.Fatalf("tick 1 stats = %+v, want small deferred behind big's window", st)
+	}
+	// big's window is booked through t=110; scans inside it defer
+	// small, the first scan past it admits.
+	if moves, err = d.Tick(20); err != nil || len(moves) != 0 {
+		t.Fatalf("tick inside booked window = %+v, %v; want a deferral", moves, err)
+	}
+	if moves, err = d.Tick(120); err != nil || len(moves) != 1 || moves[0].Name != "small" {
+		t.Fatalf("tick past window = %+v, %v; want small", moves, err)
+	}
+}
+
 // TestDaemonUnpacedWithoutBudget: with no rate limit there is no pace
 // rate, so moves keep the instantaneous window (Duration 0 at the
 // tick) the simulator interprets as the old burst behavior.

@@ -23,6 +23,26 @@ type Target interface {
 	Transcode(name, codeName string) (moved int, err error)
 }
 
+// ExtentTarget is a Target that exposes sub-file extents as the unit
+// of tiering. When the manager's target implements it, heat is
+// tracked, policy is decided, and moves are executed per extent: a
+// large file with one hot region pays to move only that region's
+// stripes. Both StoreTarget and ClusterTarget satisfy it.
+type ExtentTarget interface {
+	Target
+	// Extents returns the number of extents a file has (0 for an
+	// unknown file).
+	Extents(name string) int
+	// ExtentCode returns the effective code name of one extent.
+	ExtentCode(name string, ext int) (string, bool)
+	// ExtentOf maps a file-global data block to the extent holding
+	// it (-1 when unknown).
+	ExtentOf(name string, block int) int
+	// TranscodeExtent moves one extent to the named code and returns
+	// the block-unit traffic the move cost.
+	TranscodeExtent(name string, ext int, codeName string) (moved int, err error)
+}
+
 // Manager glues tracker, policy and target together: hook OnRead into
 // the data path (or a trace replay), call Rebalance periodically, and
 // files migrate between the hot and cold codes as their heat crosses
@@ -56,9 +76,36 @@ func NewManager(target Target, policy Policy, tracker *Tracker) (*Manager, error
 		lastMove: map[string]float64{}}, nil
 }
 
-// OnRead records one access at time now; bind it to the store's read
-// hook with the clock of your choice.
+// OnRead records one whole-file access at time now; bind it to the
+// store's read hook with the clock of your choice.
 func (m *Manager) OnRead(name string, now float64) { m.Tracker.Touch(name, now) }
+
+// OnReadBlock records one access to a file's data block at time now,
+// attributing it to the extent holding the block when the target is
+// extent-granular (and to the whole file otherwise). A negative block
+// means the access carries no offset information and is recorded as a
+// whole-file touch — which every extent inherits — rather than
+// silently pinning legacy traces' heat onto extent 0. Trace replays
+// feed heat through here.
+func (m *Manager) OnReadBlock(name string, block int, now float64) {
+	if block >= 0 {
+		if et, ok := m.Target.(ExtentTarget); ok {
+			if ext := et.ExtentOf(name, block); ext >= 0 {
+				m.Tracker.TouchExtent(name, ext, now)
+				return
+			}
+		}
+	}
+	m.Tracker.Touch(name, now)
+}
+
+// moveKey names the dwell-guard entry for one tiering unit.
+func moveKey(name string, ext int) string {
+	if ext < 0 {
+		return name
+	}
+	return fmt.Sprintf("%s#%d", name, ext)
+}
 
 // LastMoves returns a copy of the per-file last-transcode times, for
 // persisting MinDwell state across short-lived processes.
@@ -124,20 +171,37 @@ type MoveResult struct {
 	Duration    float64
 }
 
-// States returns the policy-engine view of every file in the target at
-// time now.
+// States returns the policy-engine view of every tiering unit in the
+// target at time now: one state per extent when the target is extent-
+// granular, one per file otherwise.
 func (m *Manager) States(now float64) []FileState {
 	names := m.Target.Files()
+	et, extents := m.Target.(ExtentTarget)
 	states := make([]FileState, 0, len(names))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, name := range names {
+		if extents {
+			n := et.Extents(name)
+			for ext := 0; ext < n; ext++ {
+				code, ok := et.ExtentCode(name, ext)
+				if !ok {
+					continue
+				}
+				states = append(states, FileState{
+					Name: name, Ext: ext, Code: code,
+					Heat:     m.Tracker.ExtentHeat(name, ext, now),
+					LastMove: m.lastMove[moveKey(name, ext)],
+				})
+			}
+			continue
+		}
 		code, ok := m.Target.FileCode(name)
 		if !ok {
 			continue
 		}
 		states = append(states, FileState{
-			Name: name, Code: code,
+			Name: name, Ext: -1, Code: code,
 			Heat:     m.Tracker.Heat(name, now),
 			LastMove: m.lastMove[name],
 		})
@@ -147,14 +211,28 @@ func (m *Manager) States(now float64) []FileState {
 
 // execute performs one decided move — the single funnel both
 // Rebalance and the background Daemon run transcodes through — and
-// records the move time for the dwell guard.
+// records the move time for the dwell guard. Extent moves route
+// through the target's TranscodeExtent, whole-file moves through
+// Transcode.
 func (m *Manager) execute(mv Move, now float64) (MoveResult, error) {
-	moved, err := m.Target.Transcode(mv.Name, mv.To)
+	var moved int
+	var err error
+	if et, ok := m.Target.(ExtentTarget); ok && mv.Ext >= 0 {
+		moved, err = et.TranscodeExtent(mv.Name, mv.Ext, mv.To)
+		if err != nil {
+			err = fmt.Errorf("tier: moving %q extent %d to %s: %w", mv.Name, mv.Ext, mv.To, err)
+		}
+	} else {
+		moved, err = m.Target.Transcode(mv.Name, mv.To)
+		if err != nil {
+			err = fmt.Errorf("tier: moving %q to %s: %w", mv.Name, mv.To, err)
+		}
+	}
 	if err != nil {
-		return MoveResult{}, fmt.Errorf("tier: moving %q to %s: %w", mv.Name, mv.To, err)
+		return MoveResult{}, err
 	}
 	m.mu.Lock()
-	m.lastMove[mv.Name] = now
+	m.lastMove[moveKey(mv.Name, mv.Ext)] = now
 	m.mu.Unlock()
 	return MoveResult{Move: mv, BlocksMoved: moved, Start: now}, nil
 }
@@ -234,15 +312,35 @@ func (m *Manager) rebalanceParallel(moves []Move, now float64) ([]MoveResult, er
 	return done, firstErr
 }
 
-// StoreTarget adapts the on-disk HDFS-RAID store to the Target
-// interface.
+// StoreTarget adapts the on-disk HDFS-RAID store to the ExtentTarget
+// interface: tiering against a store runs at extent granularity.
 type StoreTarget struct{ Store *hdfsraid.Store }
 
 // Files lists the store's files.
 func (t StoreTarget) Files() []string { return t.Store.Files() }
 
-// FileCode returns a file's effective code name.
+// FileCode returns a file's effective code name ("mixed" when its
+// extents disagree).
 func (t StoreTarget) FileCode(name string) (string, bool) { return t.Store.FileCode(name) }
+
+// Extents returns a file's extent count.
+func (t StoreTarget) Extents(name string) int {
+	exts, ok := t.Store.Extents(name)
+	if !ok {
+		return 0
+	}
+	return len(exts)
+}
+
+// ExtentCode returns one extent's effective code name.
+func (t StoreTarget) ExtentCode(name string, ext int) (string, bool) {
+	return t.Store.ExtentCode(name, ext)
+}
+
+// ExtentOf maps a data block to its extent.
+func (t StoreTarget) ExtentOf(name string, block int) int {
+	return t.Store.ExtentOf(name, block)
+}
 
 // Transcode re-encodes the file on disk and reports the physical
 // blocks read plus written as the move's traffic.
@@ -254,16 +352,37 @@ func (t StoreTarget) Transcode(name, codeName string) (int, error) {
 	return rep.DataBlocksRead + rep.BlocksWritten, nil
 }
 
-// MoveCost prices a move without performing it, in block units, so the
-// rate-limited daemon can admission-check against its byte budget.
+// TranscodeExtent re-encodes one extent on disk — only that extent's
+// stripes move — and reports the blocks read plus written.
+func (t StoreTarget) TranscodeExtent(name string, ext int, codeName string) (int, error) {
+	rep, err := t.Store.TranscodeExtent(name, ext, codeName)
+	if err != nil {
+		return 0, err
+	}
+	return rep.DataBlocksRead + rep.BlocksWritten, nil
+}
+
+// MoveCost prices a whole-file move without performing it, in block
+// units, so the rate-limited daemon can admission-check against its
+// byte budget. The price is the sum over extents not already on the
+// target — well-defined even for mixed-tier files.
 func (t StoreTarget) MoveCost(name, codeName string) (int, error) {
-	fi, ok := t.Store.Info(name)
+	exts, ok := t.Store.Extents(name)
 	if !ok {
 		return 0, fmt.Errorf("tier: no such file %q", name)
 	}
-	from, _ := t.Store.FileCode(name)
-	if from == codeName {
-		return 0, nil
+	total := 0
+	for i := range exts {
+		cost, err := t.Store.TranscodeExtentCost(name, i, codeName)
+		if err != nil {
+			return 0, err
+		}
+		total += cost
 	}
-	return t.Store.TranscodeCost(fi.Length, from, codeName)
+	return total, nil
+}
+
+// ExtentMoveCost prices one extent's move without performing it.
+func (t StoreTarget) ExtentMoveCost(name string, ext int, codeName string) (int, error) {
+	return t.Store.TranscodeExtentCost(name, ext, codeName)
 }

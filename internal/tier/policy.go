@@ -42,25 +42,33 @@ func (p Policy) Validate() error {
 	return nil
 }
 
-// FileState is the policy engine's view of one file.
+// FileState is the policy engine's view of one tiering unit: a whole
+// file (Ext < 0) or a single extent of one (Ext >= 0). Extent states
+// carry the extent's own decayed heat, so a hot region of a large file
+// crosses the promote threshold on its own merits.
 type FileState struct {
 	Name     string
+	Ext      int     // extent index, or -1 for whole-file tiering
 	Code     string  // current code name
 	Heat     float64 // decayed heat now
-	LastMove float64 // time of the file's last transcode (0 if never)
+	LastMove float64 // time of the unit's last transcode (0 if never)
 }
 
-// Move is one tiering decision: transcode Name from code From to To.
+// Move is one tiering decision: transcode Name (extent Ext when >= 0)
+// from code From to To.
 type Move struct {
 	Name     string
+	Ext      int // extent index, or -1 for a whole-file move
 	From, To string
 	Heat     float64
 	Promote  bool
 }
 
 // Decide returns the moves the policy wants at time now, in input
-// order. Files already on their target code, inside the hysteresis
-// band, or moved more recently than MinDwell are left alone.
+// order. Units already on their target code, inside the hysteresis
+// band, or moved more recently than MinDwell are left alone. The
+// policy is granularity-blind: it sees whatever units (files or
+// extents) the manager's target exposes.
 func (p Policy) Decide(now float64, files []FileState) []Move {
 	var moves []Move
 	for _, f := range files {
@@ -69,9 +77,9 @@ func (p Policy) Decide(now float64, files []FileState) []Move {
 		}
 		switch {
 		case f.Heat >= p.PromoteAt && f.Code != p.HotCode:
-			moves = append(moves, Move{Name: f.Name, From: f.Code, To: p.HotCode, Heat: f.Heat, Promote: true})
+			moves = append(moves, Move{Name: f.Name, Ext: f.Ext, From: f.Code, To: p.HotCode, Heat: f.Heat, Promote: true})
 		case f.Heat <= p.DemoteAt && f.Code != p.ColdCode:
-			moves = append(moves, Move{Name: f.Name, From: f.Code, To: p.ColdCode, Heat: f.Heat})
+			moves = append(moves, Move{Name: f.Name, Ext: f.Ext, From: f.Code, To: p.ColdCode, Heat: f.Heat})
 		}
 	}
 	return moves

@@ -19,12 +19,14 @@ type ReplayStats struct {
 }
 
 // Replay drives the manager from a workload trace on a discrete-event
-// engine: every access touches the tracker (and the optional onAccess
-// callback, where callers meter read costs), and the policy runs every
-// rebalanceEvery seconds of virtual time. The engine's clock is the
-// tracker's clock, so identical traces and seeds replay identically.
+// engine: every access touches the tracker — attributed to the extent
+// holding the access's block when the target is extent-granular — and
+// the optional onAccess callback (where callers meter read costs), and
+// the policy runs every rebalanceEvery seconds of virtual time. The
+// engine's clock is the tracker's clock, so identical traces and seeds
+// replay identically.
 func Replay(eng *sim.Engine, trace []workload.Access, m *Manager,
-	rebalanceEvery float64, onAccess func(name string, now float64) error) (ReplayStats, error) {
+	rebalanceEvery float64, onAccess func(a workload.Access, now float64) error) (ReplayStats, error) {
 	var stats ReplayStats
 	if len(trace) == 0 {
 		return stats, nil
@@ -45,9 +47,9 @@ func Replay(eng *sim.Engine, trace []workload.Access, m *Manager,
 				return
 			}
 			stats.Accesses++
-			m.OnRead(a.Name, eng.Now())
+			m.OnReadBlock(a.Name, a.Block, eng.Now())
 			if onAccess != nil {
-				if err := onAccess(a.Name, eng.Now()); err != nil {
+				if err := onAccess(a, eng.Now()); err != nil {
 					fail(err)
 				}
 			}
@@ -92,7 +94,7 @@ func (s *ReplayStats) record(moves []MoveResult) {
 // simulated network, modeling rebalance contending with foreground
 // reads on the shared LAN.
 func ReplayDaemon(eng *sim.Engine, trace []workload.Access, d *Daemon,
-	onAccess func(name string, now float64) error) (ReplayStats, error) {
+	onAccess func(a workload.Access, now float64) error) (ReplayStats, error) {
 	var stats ReplayStats
 	if len(trace) == 0 {
 		return stats, nil
@@ -110,9 +112,9 @@ func ReplayDaemon(eng *sim.Engine, trace []workload.Access, d *Daemon,
 				return
 			}
 			stats.Accesses++
-			d.m.OnRead(a.Name, eng.Now())
+			d.m.OnReadBlock(a.Name, a.Block, eng.Now())
 			if onAccess != nil {
-				if err := onAccess(a.Name, eng.Now()); err != nil {
+				if err := onAccess(a, eng.Now()); err != nil {
 					fail(err)
 				}
 			}

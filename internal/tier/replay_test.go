@@ -95,9 +95,9 @@ func TestReplayOnAccessMetersReads(t *testing.T) {
 		t.Fatal(err)
 	}
 	metered := 0
-	stats, err := Replay(sim.NewEngine(), trace, m, 2, func(name string, now float64) error {
+	stats, err := Replay(sim.NewEngine(), trace, m, 2, func(a workload.Access, now float64) error {
 		metered++
-		_, err := ct.ReadCost(name, func(int) bool { return false })
+		_, err := ct.ReadCost(a.Name, func(int) bool { return false })
 		return err
 	})
 	if err != nil {

@@ -1,11 +1,14 @@
 // Package tier implements adaptive hot/cold data tiering on top of the
 // repository's coding schemes: a decayed-access heat tracker, a
 // promote/demote policy engine with hysteresis, and a manager that
-// moves files between a hot code with inherent double replication
+// moves data between a hot code with inherent double replication
 // (replication, polygon, heptagon-local) and the cold RS baseline by
-// online transcoding. The design follows the paper's framing — double
-// replication codes for hot data, RS(14,10) for cold — and the
-// access-driven promotion of HotRAP-style tiered stores.
+// online transcoding. Heat, policy and moves all operate at extent
+// granularity when the target supports it — a hot region of a large
+// file promotes on its own, the way HotRAP promotes individual hot
+// records between LSM tiers — and fall back to whole files otherwise.
+// The design follows the paper's framing: double replication codes for
+// hot data, RS(14,10) for cold.
 package tier
 
 import (
@@ -16,15 +19,19 @@ import (
 	"sync"
 )
 
-// Tracker is a concurrency-safe heat tracker: per-file access counters
-// with exponential decay, so a file's heat is the number of recent
-// accesses discounted by age. It is fed by store read hooks or by
-// workload trace replay; time is caller-supplied (wall clock or a sim
-// engine's virtual clock) so runs stay deterministic.
+// Tracker is a concurrency-safe heat tracker: per-file and per-extent
+// access counters with exponential decay, so heat is the number of
+// recent accesses discounted by age. Whole-file touches (Touch) land
+// in a file-level counter that every extent inherits in full (an
+// unattributed access could have hit any extent, and ExtentHeat
+// counts it toward each — see ExtentHeat); extent touches
+// (TouchExtent) land on the extent alone. It is fed by store read
+// hooks or by workload trace replay; time is caller-supplied (wall
+// clock or a sim engine's virtual clock) so runs stay deterministic.
 type Tracker struct {
 	mu       sync.Mutex
 	halfLife float64
-	entries  map[string]*heatEntry
+	files    map[string]*fileEntry
 }
 
 type heatEntry struct {
@@ -32,60 +39,131 @@ type heatEntry struct {
 	Last float64 `json:"last"` // time of last update, seconds
 }
 
+// fileEntry holds one file's counters: Whole collects accesses not
+// attributed to an extent (legacy feeds, whole-file hooks), Exts the
+// extent-attributed ones.
+type fileEntry struct {
+	Whole *heatEntry         `json:"whole,omitempty"`
+	Exts  map[int]*heatEntry `json:"exts,omitempty"`
+}
+
 // NewTracker returns a tracker whose counters halve every halfLife
 // seconds of inactivity. A non-positive halfLife disables decay.
 func NewTracker(halfLife float64) *Tracker {
-	return &Tracker{halfLife: halfLife, entries: map[string]*heatEntry{}}
+	return &Tracker{halfLife: halfLife, files: map[string]*fileEntry{}}
 }
 
 // decayed returns e's heat discounted from e.Last to now.
 func (t *Tracker) decayed(e *heatEntry, now float64) float64 {
+	if e == nil {
+		return 0
+	}
 	if t.halfLife <= 0 || now <= e.Last {
 		return e.Heat
 	}
 	return e.Heat * math.Exp2(-(now-e.Last)/t.halfLife)
 }
 
-// Touch records one access to name at time now.
-func (t *Tracker) Touch(name string, now float64) { t.TouchN(name, 1, now) }
-
-// TouchN records n accesses to name at time now.
-func (t *Tracker) TouchN(name string, n, now float64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e, ok := t.entries[name]
-	if !ok {
-		e = &heatEntry{}
-		t.entries[name] = e
-	}
+// bump folds decay into e and adds n at time now.
+func (t *Tracker) bump(e *heatEntry, n, now float64) {
 	e.Heat = t.decayed(e, now) + n
 	if now > e.Last {
 		e.Last = now
 	}
 }
 
-// Heat returns name's decayed heat at time now (0 if never touched).
+func (t *Tracker) entry(name string) *fileEntry {
+	f, ok := t.files[name]
+	if !ok {
+		f = &fileEntry{}
+		t.files[name] = f
+	}
+	return f
+}
+
+// Touch records one whole-file access to name at time now.
+func (t *Tracker) Touch(name string, now float64) { t.TouchN(name, 1, now) }
+
+// TouchN records n whole-file accesses to name at time now.
+func (t *Tracker) TouchN(name string, n, now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.entry(name)
+	if f.Whole == nil {
+		f.Whole = &heatEntry{}
+	}
+	t.bump(f.Whole, n, now)
+}
+
+// TouchExtent records one access to extent ext of name at time now.
+func (t *Tracker) TouchExtent(name string, ext int, now float64) {
+	t.TouchExtentN(name, ext, 1, now)
+}
+
+// TouchExtentN records n accesses to extent ext of name at time now.
+func (t *Tracker) TouchExtentN(name string, ext int, n, now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.entry(name)
+	if f.Exts == nil {
+		f.Exts = map[int]*heatEntry{}
+	}
+	e, ok := f.Exts[ext]
+	if !ok {
+		e = &heatEntry{}
+		f.Exts[ext] = e
+	}
+	t.bump(e, n, now)
+}
+
+// fileHeatLocked aggregates a file's decayed heat: whole-file counter
+// plus every extent counter.
+func (t *Tracker) fileHeatLocked(f *fileEntry, now float64) float64 {
+	h := t.decayed(f.Whole, now)
+	for _, e := range f.Exts {
+		h += t.decayed(e, now)
+	}
+	return h
+}
+
+// Heat returns name's decayed heat at time now (0 if never touched):
+// the whole-file counter plus the sum over extents.
 func (t *Tracker) Heat(name string, now float64) float64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if e, ok := t.entries[name]; ok {
-		return t.decayed(e, now)
+	if f, ok := t.files[name]; ok {
+		return t.fileHeatLocked(f, now)
 	}
 	return 0
 }
 
-// Forget drops name's counter.
+// ExtentHeat returns the decayed heat of one extent of name at time
+// now: the extent's counter plus the file-level counter (an access not
+// attributed to an extent could have hit any of them, so every extent
+// inherits it — which also lets legacy whole-file heat keep driving
+// extent policy after an upgrade).
+func (t *Tracker) ExtentHeat(name string, ext int, now float64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[name]
+	if !ok {
+		return 0
+	}
+	return t.decayed(f.Whole, now) + t.decayed(f.Exts[ext], now)
+}
+
+// Forget drops name's counters.
 func (t *Tracker) Forget(name string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	delete(t.entries, name)
+	delete(t.files, name)
 }
 
 // Len returns the number of tracked files.
 func (t *Tracker) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.entries)
+	return len(t.files)
 }
 
 // FileHeat is one tracked file's decayed heat.
@@ -94,13 +172,13 @@ type FileHeat struct {
 	Heat float64
 }
 
-// Heats returns every tracked file's decayed heat at time now, hottest
-// first (ties broken by name for determinism).
+// Heats returns every tracked file's aggregated decayed heat at time
+// now, hottest first (ties broken by name for determinism).
 func (t *Tracker) Heats(now float64) []FileHeat {
 	t.mu.Lock()
-	out := make([]FileHeat, 0, len(t.entries))
-	for name, e := range t.entries {
-		out = append(out, FileHeat{Name: name, Heat: t.decayed(e, now)})
+	out := make([]FileHeat, 0, len(t.files))
+	for name, f := range t.files {
+		out = append(out, FileHeat{Name: name, Heat: t.fileHeatLocked(f, now)})
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
@@ -112,17 +190,37 @@ func (t *Tracker) Heats(now float64) []FileHeat {
 	return out
 }
 
-// trackerState is the persisted form of a tracker.
+// ExtentHeats returns the decayed per-extent heats of one file (extent
+// counters only, without the shared file-level component), keyed by
+// extent index.
+func (t *Tracker) ExtentHeats(name string, now float64) map[int]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.files[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[int]float64, len(f.Exts))
+	for ext, e := range f.Exts {
+		out[ext] = t.decayed(e, now)
+	}
+	return out
+}
+
+// trackerState is the persisted form of a tracker. Files is the
+// current shape; Entries is the pre-extent flat map, loaded (as
+// file-level counters) but never written.
 type trackerState struct {
 	HalfLife float64               `json:"half_life"`
-	Entries  map[string]*heatEntry `json:"entries"`
+	Files    map[string]*fileEntry `json:"files,omitempty"`
+	Entries  map[string]*heatEntry `json:"entries,omitempty"`
 }
 
 // Save writes the tracker state as JSON to path, so one-shot CLI
 // invocations can accumulate heat across runs.
 func (t *Tracker) Save(path string) error {
 	t.mu.Lock()
-	raw, err := json.MarshalIndent(trackerState{HalfLife: t.halfLife, Entries: t.entries}, "", "  ")
+	raw, err := json.MarshalIndent(trackerState{HalfLife: t.halfLife, Files: t.files}, "", "  ")
 	t.mu.Unlock()
 	if err != nil {
 		return err
@@ -131,7 +229,8 @@ func (t *Tracker) Save(path string) error {
 }
 
 // LoadTracker restores a tracker from path. A missing file yields a
-// fresh tracker with the given half-life.
+// fresh tracker with the given half-life; a file saved before extent
+// tracking loads its per-file counters as whole-file heat.
 func LoadTracker(path string, halfLife float64) (*Tracker, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -145,8 +244,11 @@ func LoadTracker(path string, halfLife float64) (*Tracker, error) {
 		return nil, err
 	}
 	tr := NewTracker(st.HalfLife)
-	if st.Entries != nil {
-		tr.entries = st.Entries
+	if st.Files != nil {
+		tr.files = st.Files
+	}
+	for name, e := range st.Entries {
+		tr.entry(name).Whole = e
 	}
 	return tr, nil
 }

@@ -2,6 +2,7 @@ package tier
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -73,6 +74,89 @@ func TestTrackerConcurrent(t *testing.T) {
 	wg.Wait()
 	if h := tr.Heat("shared", 1000); h != 8000 {
 		t.Fatalf("concurrent heat = %v, want 8000", h)
+	}
+}
+
+// TestTrackerExtentHeat: extent touches accrue per extent, file heat
+// aggregates them, and whole-file touches bleed into every extent (an
+// unattributed access could have hit any of them).
+func TestTrackerExtentHeat(t *testing.T) {
+	tr := NewTracker(10)
+	tr.TouchExtentN("f", 0, 4, 0)
+	tr.TouchExtent("f", 2, 0)
+	if h := tr.ExtentHeat("f", 0, 0); h != 4 {
+		t.Fatalf("extent 0 heat = %v, want 4", h)
+	}
+	if h := tr.ExtentHeat("f", 1, 0); h != 0 {
+		t.Fatalf("untouched extent heat = %v", h)
+	}
+	if h := tr.Heat("f", 0); h != 5 {
+		t.Fatalf("file heat = %v, want extent sum 5", h)
+	}
+	// A whole-file touch raises every extent's heat equally.
+	tr.TouchN("f", 2, 0)
+	if h := tr.ExtentHeat("f", 1, 0); h != 2 {
+		t.Fatalf("extent heat after whole-file touch = %v, want 2", h)
+	}
+	if h := tr.ExtentHeat("f", 0, 0); h != 6 {
+		t.Fatalf("extent 0 heat after whole-file touch = %v, want 6", h)
+	}
+	if h := tr.Heat("f", 0); h != 7 {
+		t.Fatalf("file heat = %v, want 7", h)
+	}
+	// Decay applies per counter.
+	if h := tr.ExtentHeat("f", 0, 10); math.Abs(h-3) > 1e-12 {
+		t.Fatalf("decayed extent heat = %v, want 3", h)
+	}
+	hs := tr.ExtentHeats("f", 0)
+	if len(hs) != 2 || hs[0] != 4 || hs[2] != 1 {
+		t.Fatalf("ExtentHeats = %v", hs)
+	}
+}
+
+// TestTrackerExtentSaveLoad round-trips extent counters through the
+// persisted form.
+func TestTrackerExtentSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heat.json")
+	tr := NewTracker(10)
+	tr.TouchExtentN("f", 3, 4, 100)
+	tr.TouchN("f", 1, 100)
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := LoadTracker(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := tr2.ExtentHeat("f", 3, 100); h != 5 {
+		t.Fatalf("restored extent heat = %v, want 5", h)
+	}
+	if h := tr2.Heat("f", 100); h != 5 {
+		t.Fatalf("restored file heat = %v, want 5", h)
+	}
+}
+
+// TestLoadTrackerLegacyFormat: heat files written before extent
+// tracking (flat "entries" map) load as whole-file counters that both
+// file- and extent-level policy still see.
+func TestLoadTrackerLegacyFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heat.json")
+	legacy := `{"half_life": 10, "entries": {"f": {"heat": 4, "last": 100}}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTracker(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Heat("f", 100); h != 4 {
+		t.Fatalf("legacy heat = %v, want 4", h)
+	}
+	if h := tr.ExtentHeat("f", 7, 100); h != 4 {
+		t.Fatalf("legacy heat through extent view = %v, want 4", h)
+	}
+	if h := tr.Heat("f", 110); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("legacy decay = %v, want 2", h)
 	}
 }
 

@@ -56,6 +56,46 @@ func TestZipfTraceDeterministic(t *testing.T) {
 	}
 }
 
+// TestZipfTraceBlockSkew: offset-bearing traces concentrate accesses
+// on each file's head blocks, and omitting the block config leaves
+// every access at block 0 (the legacy shape).
+func TestZipfTraceBlockSkew(t *testing.T) {
+	trace, err := ZipfTrace(TraceConfig{
+		Files: 10, Accesses: 5000, ZipfS: 1.3, Rate: 10, Seed: 9,
+		BlocksPerFile: 20, BlockZipfS: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headHits, tailHits := 0, 0
+	for _, a := range trace {
+		if a.Block < 0 || a.Block >= 20 {
+			t.Fatalf("block %d out of range", a.Block)
+		}
+		if a.Block < 5 {
+			headHits++
+		} else {
+			tailHits++
+		}
+	}
+	if tailHits == 0 {
+		t.Fatal("no tail blocks ever accessed (skew too extreme to be a Zipf)")
+	}
+	if headHits <= 3*tailHits {
+		t.Fatalf("head hits %d vs tail %d: intra-file skew missing", headHits, tailHits)
+	}
+
+	flat, err := ZipfTrace(TraceConfig{Files: 10, Accesses: 100, ZipfS: 1.3, Rate: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range flat {
+		if a.Block != -1 {
+			t.Fatalf("offset-less trace should carry the -1 sentinel, got block %d", a.Block)
+		}
+	}
+}
+
 func TestZipfTraceValidation(t *testing.T) {
 	good := TraceConfig{Files: 2, Accesses: 1, ZipfS: 1.1, Rate: 1}
 	for _, mutate := range []func(*TraceConfig){
@@ -63,6 +103,8 @@ func TestZipfTraceValidation(t *testing.T) {
 		func(c *TraceConfig) { c.Accesses = 0 },
 		func(c *TraceConfig) { c.ZipfS = 1 },
 		func(c *TraceConfig) { c.Rate = 0 },
+		func(c *TraceConfig) { c.BlockZipfS = 1.5; c.BlocksPerFile = 0 },
+		func(c *TraceConfig) { c.BlockZipfS = 0.5; c.BlocksPerFile = 10 },
 	} {
 		cfg := good
 		mutate(&cfg)

@@ -22,11 +22,24 @@ type StoreRepairReport = hdfsraid.RepairReport
 // StoreFsckReport summarizes a store integrity scan.
 type StoreFsckReport = hdfsraid.FsckReport
 
+// StoreExtent is one independently striped, independently tiered run
+// of a stored file's data blocks — the unit of partial-file tiering.
+type StoreExtent = hdfsraid.Extent
+
 // CreateStore initializes an on-disk store at root using the named
-// registered code.
+// registered code, storing each file as a single extent.
 func CreateStore(root, codeName string, blockSize int) (*Store, error) {
 	return hdfsraid.Create(root, codeName, blockSize)
 }
 
-// OpenStore loads an existing on-disk store.
+// CreateStoreExt initializes an on-disk store whose files are split
+// into extentBlocks-sized extents, each striped and tiered
+// independently, so a hot region of a large file can sit on a
+// replicated code while the rest stays on RS.
+func CreateStoreExt(root, codeName string, blockSize, extentBlocks int) (*Store, error) {
+	return hdfsraid.CreateExt(root, codeName, blockSize, extentBlocks)
+}
+
+// OpenStore loads an existing on-disk store (per-file manifests
+// written before extents migrate to single-extent files).
 func OpenStore(root string) (*Store, error) { return hdfsraid.Open(root) }
