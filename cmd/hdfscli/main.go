@@ -15,19 +15,29 @@
 //	hdfscli -store DIR kill NODE...
 //	hdfscli -store DIR repair NODE...
 //	hdfscli -store DIR fsck
+//	hdfscli -store DIR stats [-json]
 //	hdfscli -store DIR tier status
 //	hdfscli -store DIR tier set [-ext N] NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
-//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-horizon S] [-duration S] [rebalance flags]
+//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-horizon S] [-duration S] [-metrics ADDR] [rebalance flags]
 //
 // Every command Opens the store, which replays or rolls back any
 // transcode a crashed process left mid-flight (the manifest journal);
 // fsck reports when that recovery acted.
+//
+// Every invocation folds the metrics it generated into the store's
+// persisted snapshot (obs-metrics.json beside the manifest), so
+// `hdfscli stats` reports the accumulated telemetry of every put, get,
+// repair and move that ever ran against the store; `tier daemon
+// -metrics ADDR` additionally serves the live registry over HTTP.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -41,6 +51,7 @@ import (
 	_ "repro/internal/code/rs"
 	"repro/internal/core"
 	"repro/internal/hdfsraid"
+	"repro/internal/obs"
 	"repro/internal/tier"
 )
 
@@ -67,6 +78,8 @@ func main() {
 		err = doNodes(*store, args[1:], "repair")
 	case "fsck":
 		err = doFsck(*store)
+	case "stats":
+		err = doStats(*store, args[1:])
 	case "tier":
 		err = doTier(*store, args[1:])
 	default:
@@ -79,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]}}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]}}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
@@ -91,6 +104,40 @@ func heatPath(store string) string { return filepath.Join(store, "tier-heat.json
 // movesPath is where per-file last-move times persist, so the
 // rebalance -dwell guard holds across one-shot invocations.
 func movesPath(store string) string { return filepath.Join(store, "tier-moves.json") }
+
+// obsPath is where metric snapshots accumulate across one-shot
+// invocations, beside the manifest.
+func obsPath(store string) string { return filepath.Join(store, "obs-metrics.json") }
+
+// openStore opens the store, replacing the raw manifest-read error
+// with a one-line diagnosis when no store exists at the directory.
+func openStore(store string) (*hdfsraid.Store, error) {
+	s, err := hdfsraid.Open(store)
+	if err != nil {
+		if _, statErr := os.Stat(filepath.Join(store, "manifest.json")); os.IsNotExist(statErr) {
+			return nil, fmt.Errorf("no store at %s (run 'hdfscli -store %s create' first)", store, store)
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// flushObs folds the metrics this process generated into the store's
+// persisted snapshot, so one-shot invocations accumulate telemetry the
+// stats command can report later. Counters and histograms add; the
+// journal trace keeps its newest window.
+func flushObs(store string, s *hdfsraid.Store) error {
+	reg := s.Obs()
+	if reg == nil {
+		return nil
+	}
+	disk, err := obs.ReadSnapshotFile(obsPath(store))
+	if err != nil {
+		return err
+	}
+	disk.Merge(reg.Snapshot())
+	return obs.WriteSnapshotFile(obsPath(store), disk)
+}
 
 // nowSeconds is the wall clock as float seconds, the tracker's time
 // base for CLI use.
@@ -126,7 +173,7 @@ func doPut(store string, args []string) error {
 	if len(args) != 1 {
 		usage()
 	}
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -145,14 +192,14 @@ func doPut(store string, args []string) error {
 	fi, _ := s.Info(name)
 	exts, _ := s.Extents(name)
 	fmt.Printf("stored %s: %d bytes in %d stripes across %d extents\n", name, fi.Length, fi.Stripes, len(exts))
-	return nil
+	return flushObs(store, s)
 }
 
 func doGet(store string, args []string) error {
 	if len(args) != 2 {
 		usage()
 	}
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -174,11 +221,11 @@ func doGet(store string, args []string) error {
 		return err
 	}
 	fmt.Printf("read %s: %d bytes -> %s\n", args[0], len(data), args[1])
-	return nil
+	return flushObs(store, s)
 }
 
 func doLs(store string) error {
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -193,7 +240,7 @@ func doNodes(store string, args []string, op string) error {
 	if len(args) == 0 {
 		usage()
 	}
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -228,7 +275,7 @@ func doNodes(store string, args []string, op string) error {
 	}
 	fmt.Printf("repaired nodes %v: %d stripes, %d blocks restored, %d block-units transferred\n",
 		nodes, rep.Stripes, rep.BlocksRestored, rep.Transfers)
-	return nil
+	return flushObs(store, s)
 }
 
 func doTier(store string, args []string) error {
@@ -251,7 +298,7 @@ func doTier(store string, args []string) error {
 }
 
 func doTierStatus(store string) error {
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -301,7 +348,7 @@ func doTierSet(store string, args []string) error {
 	if len(args) != 2 {
 		usage()
 	}
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -316,7 +363,7 @@ func doTierSet(store string, args []string) error {
 	}
 	fmt.Printf("transcoded %s: %s -> %s, %d extents, %d stripes, %d blocks written, %d removed\n",
 		args[0], rep.From, rep.To, rep.Extents, rep.Stripes, rep.BlocksWritten, rep.BlocksRemoved)
-	return nil
+	return flushObs(store, s)
 }
 
 func doTierRebalance(store string, args []string) error {
@@ -330,7 +377,7 @@ func doTierRebalance(store string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -358,12 +405,12 @@ func doTierRebalance(store string, args []string) error {
 	}
 	if len(moves) == 0 {
 		fmt.Println("tiering stable: no moves")
-		return nil
+		return flushObs(store, s)
 	}
 	for _, mv := range moves {
 		printMove(mv)
 	}
-	return nil
+	return flushObs(store, s)
 }
 
 // printMove reports one executed tiering move, extent-qualified when
@@ -397,10 +444,11 @@ func doTierDaemon(store string, args []string) error {
 	budget := fs.Float64("budget", 0, "transcode budget, MB/s (0 = unlimited)")
 	horizon := fs.Float64("horizon", 0, "admission horizon: max seconds of booked transfer window per scan (0 = unlimited)")
 	duration := fs.Float64("duration", 0, "run this many seconds (0 = until interrupt)")
+	metrics := fs.String("metrics", "", "serve live metrics over HTTP on this address (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -435,6 +483,21 @@ func doTierDaemon(store string, args []string) error {
 		}
 	}
 	d.OnMove = func(mv tier.MoveResult, now float64) { printMove(mv) }
+	// One registry serves both layers: the daemon's scan/budget metrics
+	// land beside the store's data-plane metrics, so the endpoint (and
+	// the persisted snapshot) shows moves and the traffic they caused
+	// together.
+	d.Obs = s.Obs()
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: s.Obs().Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/debug/vars\n", ln.Addr())
+	}
 	if err := d.Start(); err != nil {
 		return err
 	}
@@ -460,11 +523,11 @@ func doTierDaemon(store string, args []string) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	return nil
+	return flushObs(store, s)
 }
 
 func doFsck(store string) error {
-	s, err := hdfsraid.Open(store)
+	s, err := openStore(store)
 	if err != nil {
 		return err
 	}
@@ -481,5 +544,43 @@ func doFsck(store string) error {
 		status = "DEGRADED"
 	}
 	fmt.Printf("%s: %d blocks, %d missing, %d corrupt\n", status, rep.Blocks, rep.Missing, rep.Corrupt)
+	return flushObs(store, s)
+}
+
+// doStats reports the store's accumulated telemetry: the persisted
+// snapshot of every prior invocation merged with whatever this very
+// invocation generated (Open may have run journal recovery), persisted
+// back so nothing is lost. -json emits the machine-readable schema the
+// live endpoint and tiersim share; the default is a human-readable
+// table.
+func doStats(store string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the snapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openStore(store)
+	if err != nil {
+		return err
+	}
+	snap, err := obs.ReadSnapshotFile(obsPath(store))
+	if err != nil {
+		return err
+	}
+	if reg := s.Obs(); reg != nil {
+		snap.Merge(reg.Snapshot())
+	}
+	if err := obs.WriteSnapshotFile(obsPath(store), snap); err != nil {
+		return err
+	}
+	if *asJSON {
+		raw, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	snap.WriteText(os.Stdout)
 	return nil
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles hdfscli into a temp dir and returns the binary
+// path; the CLI tests exercise the real process boundary (exit codes,
+// stderr shape, the persisted metrics snapshot).
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hdfscli")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building hdfscli: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// run executes the CLI against a store and returns stdout+stderr,
+// failing the test on a nonzero exit.
+func run(t *testing.T, bin, store string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-store", store}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hdfscli %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestMissingStoreDiagnosis: pointing any command at a directory with
+// no store must exit 1 with a single-line diagnosis, never a panic or
+// a raw stack trace.
+func TestMissingStoreDiagnosis(t *testing.T) {
+	bin := buildCLI(t)
+	missing := filepath.Join(t.TempDir(), "nosuch")
+	cmd := exec.Command(bin, "-store", missing, "ls")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want code 1", err)
+	}
+	msg := stderr.String()
+	if got := strings.Count(msg, "\n"); got != 1 {
+		t.Errorf("stderr is %d lines, want exactly 1:\n%s", got, msg)
+	}
+	if !strings.Contains(msg, "no store at") {
+		t.Errorf("stderr lacks the missing-store diagnosis: %q", msg)
+	}
+	for _, bad := range []string{"panic", "goroutine"} {
+		if strings.Contains(msg, bad) {
+			t.Errorf("stderr contains %q:\n%s", bad, msg)
+		}
+	}
+}
+
+// TestStatsAfterReplay drives the acceptance scenario through the real
+// binary — create, put, intact get, extent move, two node failures,
+// degraded get, repair — and asserts `stats -json` reports nonzero
+// read-latency histogram counts, the degraded-read counter, the
+// bytes-moved counter, and the extent move's three journal events.
+func TestStatsAfterReplay(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(42)).Read(data)
+	src := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run(t, bin, store, "create", "-code", "pentagon", "-blocksize", "4096", "-extentblocks", "4")
+	run(t, bin, store, "put", src)
+	run(t, bin, store, "get", "data.bin", filepath.Join(dir, "out1.bin"))
+	run(t, bin, store, "tier", "set", "-ext", "0", "data.bin", "rs-14-10")
+	run(t, bin, store, "kill", "0", "1")
+	run(t, bin, store, "get", "data.bin", filepath.Join(dir, "out2.bin"))
+	run(t, bin, store, "repair", "0", "1")
+	for _, out := range []string{"out1.bin", "out2.bin"} {
+		got, err := os.ReadFile(filepath.Join(dir, out))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("%s does not match the source (err %v)", out, err)
+		}
+	}
+
+	raw := run(t, bin, store, "stats", "-json")
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+		Traces map[string][]struct {
+			Type string `json:"type"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(raw), &snap); err != nil {
+		t.Fatalf("stats -json did not parse: %v\n%s", err, raw)
+	}
+	for _, h := range []string{"store_put_ns", "store_get_intact_ns", "store_get_degraded_ns"} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("histogram %s has zero observations", h)
+		}
+	}
+	for _, c := range []string{"store_reads_degraded_total", "transcode_bytes_moved_total", "store_bytes_in_total"} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("counter %s is zero", c)
+		}
+	}
+	events := snap.Traces["journal"]
+	if len(events) < 3 {
+		t.Fatalf("journal trace has %d events, want >= 3:\n%s", len(events), raw)
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e.Type] = true
+	}
+	for _, typ := range []string{"staged", "swapping", "committed"} {
+		if !seen[typ] {
+			t.Errorf("journal trace lacks a %q event", typ)
+		}
+	}
+
+	// The human-readable form renders the same snapshot.
+	text := run(t, bin, store, "stats")
+	for _, want := range []string{"store_reads_degraded_total", "trace journal"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats text output lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -29,10 +29,18 @@
 //	        [-zipf S] [-blockzipf S] [-rate R]
 //	        [-nodes N] [-failed F] [-hot CODE] [-cold CODE]
 //	        [-halflife S] [-every S] [-budget MBPS] [-horizon S]
-//	        [-blockmb MB] [-netmbps MBPS] [-seed S]
+//	        [-blockmb MB] [-netmbps MBPS] [-seed S] [-metricsout FILE]
+//
+// -metricsout writes a JSON object mapping each policy row's label to
+// an obs.Snapshot — the same schema `hdfscli stats -json` and the
+// daemon's -metrics endpoint emit for a real store, with the daemon's
+// scan/budget metrics and the simulated degraded-read latency
+// histogram (virtual seconds as store_get_degraded_ns), so simulated
+// and measured telemetry compare field for field.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -43,6 +51,7 @@ import (
 	_ "repro/internal/code/raidm"
 	_ "repro/internal/code/replication"
 	_ "repro/internal/code/rs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tier"
 	"repro/internal/workload"
@@ -67,7 +76,13 @@ func main() {
 	blockMB := flag.Float64("blockmb", 64, "block size, MB")
 	netMBps := flag.Float64("netmbps", 100, "per-NIC bandwidth, MB/s")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsOut := flag.String("metricsout", "", "write per-policy metric snapshots as JSON to this file")
 	flag.Parse()
+
+	var metricSnaps map[string]obs.Snapshot
+	if *metricsOut != "" {
+		metricSnaps = map[string]obs.Snapshot{}
+	}
 
 	trace, err := workload.ZipfTrace(workload.TraceConfig{
 		Files: *files, Accesses: *accesses, ZipfS: *zipfS, Rate: *rate, Seed: *seed,
@@ -146,6 +161,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Each policy row gets its own registry: the daemon publishes
+		// its scan/budget metrics there, and the replay loop below adds
+		// the simulated degraded-read latency histogram under the real
+		// store's metric name, so a row's snapshot reads like a store's.
+		var reg *obs.Registry
+		var simReadNs *obs.Histogram
+		if metricSnaps != nil {
+			reg = obs.NewRegistry()
+			d.Obs = reg
+			simReadNs = reg.Histogram("store_get_degraded_ns")
+		}
 
 		// One shared LAN carries both the degraded-read fetches and the
 		// daemon's transcode traffic, so rebalance bursts queue behind
@@ -213,6 +239,9 @@ func main() {
 				net.Transfer(pick(reader), reader, blockBytes, func() {
 					if remaining--; remaining == 0 {
 						readLatSum += eng.Now() - start
+						if simReadNs != nil {
+							simReadNs.Observe(int64((eng.Now() - start) * 1e9))
+						}
 					}
 				})
 			}
@@ -239,6 +268,19 @@ func main() {
 		fmt.Printf("%-18s %5d/%-3d %6d %6d %10d %9.2fx %10d %11.2f %11.0f\n",
 			r.label, hotEnd, extTotal, stats.Promotions+stats.Demotions, stats.Deferred,
 			stats.BlocksMoved, avgOverhead, degraded, xfersPerRead, readMS)
+		if metricSnaps != nil {
+			metricSnaps[r.label] = reg.Snapshot()
+		}
+	}
+	if metricSnaps != nil {
+		raw, err := json.MarshalIndent(metricSnaps, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmetric snapshots -> %s\n", *metricsOut)
 	}
 }
 

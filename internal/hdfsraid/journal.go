@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // IntentState is the journal state of an in-flight transcode. The
@@ -114,6 +116,10 @@ func (s *Store) Recover() (RecoverReport, error) {
 		return RecoverReport{}, err
 	}
 	if !ok {
+		if s.obs != nil {
+			s.obs.journal.Emit(obs.Event{Type: "recovery_skipped", Ext: -1,
+				Detail: "store flock held by a live mover"})
+		}
 		return RecoverReport{Skipped: true}, nil
 	}
 	defer s.unlockExclusive()
@@ -147,11 +153,19 @@ func (s *Store) Recover() (RecoverReport, error) {
 			}
 			rep.Replayed++
 			rep.MissingStaged += missing
+			if s.obs != nil {
+				s.obs.jReplayed.Inc()
+			}
+			s.journalEvent("replayed", in)
 		} else {
 			if err := s.rollbackIntent(in); err != nil {
 				return rep, err
 			}
 			rep.RolledBack++
+			if s.obs != nil {
+				s.obs.jRolledBack.Inc()
+			}
+			s.journalEvent("rolled_back", in)
 		}
 	}
 	n, err := s.sweepOrphans()
@@ -159,6 +173,11 @@ func (s *Store) Recover() (RecoverReport, error) {
 		return rep, err
 	}
 	rep.OrphanBlocks = n
+	if n > 0 && s.obs != nil {
+		s.obs.jOrphan.Add(int64(n))
+		s.obs.journal.Emit(obs.Event{Type: "orphan_sweep", Ext: -1,
+			Detail: fmt.Sprintf("%d stray staged blocks removed", n)})
+	}
 	return rep, nil
 }
 

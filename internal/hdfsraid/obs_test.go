@@ -1,0 +1,188 @@
+package hdfsraid
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestStoreObsIntegration replays the acceptance scenario against one
+// store — put, intact get, extent move, node failures, degraded get,
+// repair — and asserts the registry recorded each step: latency
+// histogram counts, the degraded-read counter, bytes in/out, transcode
+// stage timings and bytes moved, and the journal trace's full
+// staged/swapping/committed lifecycle.
+func TestStoreObsIntegration(t *testing.T) {
+	s, err := CreateExt(t.TempDir(), "pentagon", blockSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomFile(t, 6*blockSize, 11)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := s.TranscodeExtent("f", 0, "rs-14-10"); err != nil {
+		t.Fatal(err)
+	}
+	// Pentagon tolerates two failures; kill two nodes so the next get
+	// must reconstruct at least one symbol instead of reading replicas.
+	for _, v := range []int{0, 1} {
+		if err := s.KillNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err = s.Get("f"); err != nil {
+		t.Fatal(err)
+	} else if !bytes.Equal(got, data) {
+		t.Fatal("degraded round trip mismatch")
+	}
+	if _, err := s.Repair([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.Obs().Snapshot()
+	c, h := snap.Counters, snap.Histograms
+	if h[metricPutNs].Count == 0 {
+		t.Error("put latency histogram empty")
+	}
+	if h[metricGetIntactNs].Count == 0 {
+		t.Error("intact get latency histogram empty")
+	}
+	if h[metricGetDegradedNs].Count == 0 {
+		t.Error("degraded get latency histogram empty")
+	}
+	if c[metricReadsDegraded] == 0 {
+		t.Error("degraded-read counter is zero after reading past two dead nodes")
+	}
+	if c[metricBytesIn] != int64(len(data)) {
+		t.Errorf("bytes in = %d, want %d", c[metricBytesIn], len(data))
+	}
+	if want := int64(2 * len(data)); c[metricBytesOut] != want {
+		t.Errorf("bytes out = %d, want %d (two whole-file gets)", c[metricBytesOut], want)
+	}
+	if c[metricTcMoves] != 1 {
+		t.Errorf("transcode moves = %d, want 1", c[metricTcMoves])
+	}
+	if c[metricTcBytesMoved] == 0 {
+		t.Error("transcode bytes-moved counter is zero after an extent move")
+	}
+	for _, name := range []string{metricTcReadNs, metricTcEncodeNs, metricTcWriteNs, metricTcSwapNs} {
+		if h[name].Count == 0 {
+			t.Errorf("transcode stage histogram %s empty", name)
+		}
+	}
+	if h[metricRepairNs].Count == 0 {
+		t.Error("repair latency histogram empty")
+	}
+	if c[metricRepairBlocksRestored] == 0 {
+		t.Error("repair restored-blocks counter is zero")
+	}
+	events := snap.Traces[traceJournal]
+	if len(events) < 3 {
+		t.Fatalf("journal trace has %d events, want >= 3", len(events))
+	}
+	var types []string
+	for _, e := range events {
+		types = append(types, e.Type)
+		if e.Name != "f" || e.Ext != 0 {
+			t.Errorf("journal event %+v not tagged f[x0]", e)
+		}
+	}
+	want := []string{"staged", "swapping", "committed"}
+	for i, typ := range want {
+		if types[i] != typ {
+			t.Fatalf("journal event types = %v, want %v", types, want)
+		}
+	}
+}
+
+// TestObsRecoveryMetrics crashes a transcode after its intent is
+// journaled and asserts the recovery pass both replays it and records
+// the outcome: the replayed counter and a "replayed" trace event.
+func TestObsRecoveryMetrics(t *testing.T) {
+	s := newStore(t, "pentagon")
+	if err := s.Put("f", randomFile(t, 4*blockSize, 3)); err != nil {
+		t.Fatal(err)
+	}
+	killAt(s, "swapped")
+	if _, err := s.Transcode("f", "rs-14-10"); err == nil {
+		t.Fatal("kill point did not fire")
+	}
+	s.killHook = nil
+	rec, err := s.Recover()
+	if err != nil || rec.Replayed != 1 {
+		t.Fatalf("recover = %+v, %v", rec, err)
+	}
+	snap := s.Obs().Snapshot()
+	if snap.Counters[metricJournalReplayed] != 1 {
+		t.Errorf("replayed counter = %d, want 1", snap.Counters[metricJournalReplayed])
+	}
+	events := snap.Traces[traceJournal]
+	var sawReplayed bool
+	for _, e := range events {
+		if e.Type == "replayed" && e.Name == "f" {
+			sawReplayed = true
+		}
+	}
+	if !sawReplayed {
+		t.Errorf("no replayed event in journal trace: %+v", events)
+	}
+}
+
+// TestObsOverheadGate prices the instrumentation on the read hot path:
+// the same get loop with metrics on and with s.obs nil (every site is
+// one nil check) must differ by at most 50% plus a fixed per-op
+// allowance — a regression here means an instrument landed on the hot
+// path doing real work (locking, map lookups, allocation) instead of
+// the intended atomic adds.
+func TestObsOverheadGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing gate is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	s := newStore(t, "pentagon")
+	data := randomFile(t, 8*blockSize*s.Code().DataSymbols(), 5)
+	if err := s.Put("f", data); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 100
+	loop := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := s.Get("f"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// Interleave instrumented and bare runs and keep each side's best,
+	// so drift (thermal, scheduler) hits both sides alike.
+	saved := s.obs
+	best := func(obs *storeObs) time.Duration {
+		s.obs = obs
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if d := loop(); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	loop() // warm caches and pools before either side is timed
+	on := best(saved)
+	off := best(nil)
+	s.obs = saved
+	allowed := off + off/2 + iters*20*time.Microsecond
+	if on > allowed {
+		t.Errorf("instrumented get loop %v vs bare %v exceeds the overhead bound %v", on, off, allowed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -31,11 +32,17 @@ func ingestKey(name string) string { return "\x00ingest\x00" + name }
 // the whole stream: concurrent writers of one name serialize, the
 // loser errors at its pre-stream check, and no block is ever written
 // for a name another writer already committed.
-func (s *Store) PutReader(name string, r io.Reader) error {
+func (s *Store) PutReader(name string, r io.Reader) (err error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			s.obs.putNs.Observe(time.Since(start).Nanoseconds())
+		}()
+	}
 	s.lockMove(ingestKey(name))
 	defer s.unlockMove(ingestKey(name))
 	s.mu.RLock()
-	err := s.checkNewFile(name)
+	err = s.checkNewFile(name)
 	s.mu.RUnlock()
 	if err != nil {
 		return err
@@ -181,5 +188,11 @@ func (s *Store) PutReader(name string, r io.Reader) error {
 		return err
 	}
 	s.manifest.Files[name] = fi
-	return s.saveManifest()
+	if err := s.saveManifest(); err != nil {
+		return err
+	}
+	if s.obs != nil {
+		s.obs.bytesIn.Add(int64(total))
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package hdfsraid
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gf256"
@@ -32,7 +33,25 @@ func (s *Store) BlockSize() int { return s.blockSize }
 // allocations per read. The stripe index is file-global: extent stripe
 // sets are concatenated in extent order, so (stripe, symbol) addresses
 // the same data block it did before the file grew an extent map.
-func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (int, error) {
+func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (cost int, err error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			if err != nil {
+				return
+			}
+			elapsed := time.Since(start).Nanoseconds()
+			if cost > 0 {
+				// The block came through a partial-parity plan, not a
+				// healthy replica: a degraded reconstruct.
+				s.obs.readBlockDegr.Observe(elapsed)
+				s.obs.readsDegraded.Inc()
+			} else {
+				s.obs.readBlockIntact.Observe(elapsed)
+			}
+			s.obs.bytesOut.Add(int64(len(dst)))
+		}()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if len(dst) != s.blockSize {

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -153,6 +154,13 @@ type Store struct {
 	// tier layer's hottest-first move ordering into the repair path.
 	// It must be safe for concurrent use; set it before Repair.
 	Heat func(name string) float64
+
+	// obs holds the store's always-on metrics: read/ingest latency
+	// histograms, degraded-read and byte counters, transcode stage
+	// timings and the journal event trace (see internal/obs and
+	// docs/OBSERVABILITY.md). Nil disables instrumentation; the
+	// overhead benchmark gate uses that to price it.
+	obs *storeObs
 
 	// killHook simulates a crash at named points for kill-point tests;
 	// nil in production. See (*Store).kill.
@@ -316,6 +324,7 @@ func CreateExt(root, codeName string, blockSize, extentBlocks int) (*Store, erro
 			ExtentBlocks: extentBlocks, Files: map[string]FileInfo{}},
 		codecs:    map[string]codec{codeName: {c, st}},
 		moveLocks: map[string]*fileLock{},
+		obs:       newStoreObs(),
 	}
 	if err := s.ensureNodeDirs(c.Nodes()); err != nil {
 		return nil, err
@@ -355,7 +364,8 @@ func Open(root string) (*Store, error) {
 		framePool:   core.NewBlockPool(m.BlockSize + 4),
 		payloadPool: core.NewBlockPool(m.BlockSize),
 		codecs:      map[string]codec{m.CodeName: {c, st}},
-		moveLocks:   map[string]*fileLock{}}
+		moveLocks:   map[string]*fileLock{},
+		obs:         newStoreObs()}
 	if s.lockFile, err = openLockFile(root); err != nil {
 		return nil, err
 	}
@@ -670,7 +680,16 @@ func (s *Store) checkNewFile(name string) error {
 // to its placement node. With extents enabled (CreateExt), the file is
 // split into extent-sized runs, each striped independently so it can
 // later change tier on its own.
-func (s *Store) Put(name string, data []byte) error {
+func (s *Store) Put(name string, data []byte) (err error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			s.obs.putNs.Observe(time.Since(start).Nanoseconds())
+			if err == nil {
+				s.obs.bytesIn.Add(int64(len(data)))
+			}
+		}()
+	}
 	// The ingest lock serializes this Put against a concurrent
 	// PutReader of the same name, whose block writes happen outside
 	// the manifest lock.
@@ -719,6 +738,13 @@ func (s *Store) Get(name string) ([]byte, error) {
 // recycled as soon as the stripe's bytes are copied into the result —
 // the only steady-state allocation is the returned file buffer.
 func (s *Store) get(name string, internal bool) ([]byte, error) {
+	// degraded flips when any stripe decodes around a missing symbol;
+	// it picks which latency histogram the read lands in.
+	var start time.Time
+	var degraded atomic.Bool
+	if s.obs != nil {
+		start = time.Now()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	fi, ok := s.manifest.Files[name]
@@ -808,6 +834,9 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 						used = append(used, frame)
 						break
 					}
+					if symbols[sym] == nil {
+						degraded.Store(true)
+					}
 				}
 				data, err := cc.code.Decode(symbols)
 				if err != nil {
@@ -839,6 +868,16 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if s.obs != nil {
+		elapsed := time.Since(start).Nanoseconds()
+		if degraded.Load() {
+			s.obs.getDegraded.Observe(elapsed)
+			s.obs.readsDegraded.Inc()
+		} else {
+			s.obs.getIntact.Observe(elapsed)
+		}
+		s.obs.bytesOut.Add(int64(len(out)))
 	}
 	return out, nil
 }
@@ -877,6 +916,14 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var rep RepairReport
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			s.obs.repairNs.Observe(time.Since(start).Nanoseconds())
+			s.obs.repairBlocks.Add(int64(rep.BlocksRestored))
+			s.obs.repairTransfers.Add(int64(rep.Transfers))
+		}()
+	}
 	// Reject out-of-range node indices up front: the per-extent filter
 	// below must only drop nodes a *narrower* extent code doesn't
 	// span, never hide a typo as a successful no-op repair.
@@ -1058,6 +1105,14 @@ func (s *Store) Fsck() (FsckReport, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var rep FsckReport
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			s.obs.fsckNs.Observe(time.Since(start).Nanoseconds())
+			s.obs.fsckMissing.Add(int64(rep.Missing))
+			s.obs.fsckCorrupt.Add(int64(rep.Corrupt))
+		}()
+	}
 	frame := s.framePool.Get()
 	defer s.framePool.Put(frame)
 	for _, name := range s.filesLocked() {

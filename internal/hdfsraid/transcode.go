@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -200,6 +201,7 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 		removeAll(staged)
 		return rep, err
 	}
+	s.journalEvent("staged", in)
 	if err := s.kill("intent"); err != nil {
 		return rep, err // simulated crash: journal in IntentStaged
 	}
@@ -212,9 +214,17 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 	if err := s.saveManifest(); err != nil {
 		return rep, err // journal survives; recovery finishes the move
 	}
+	s.journalEvent("swapping", in)
+	var swapStart time.Time
+	if s.obs != nil {
+		swapStart = time.Now()
+	}
 	swap, err := s.completeSwap(in) // calls kill("midswap") after the first rename
 	if err != nil {
 		return rep, err
+	}
+	if s.obs != nil {
+		s.obs.tcSwap.Observe(time.Since(swapStart).Nanoseconds())
 	}
 	rep.BlocksRemoved = swap.removed
 	rep.BlocksWritten = swap.renamed
@@ -225,7 +235,17 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 	}
 	s.commitIntentLocked(in)
 	s.removeIntent(in)
-	return rep, s.saveManifest()
+	if err := s.saveManifest(); err != nil {
+		return rep, err
+	}
+	if s.obs != nil {
+		s.obs.tcMoves.Inc()
+		s.obs.tcBlocksRead.Add(int64(rep.DataBlocksRead))
+		s.obs.tcBlocksWritten.Add(int64(rep.BlocksWritten))
+		s.obs.tcBytesMoved.Add(int64(rep.DataBlocksRead+rep.BlocksWritten) * int64(s.blockSize))
+		s.journalEvent("committed", in)
+	}
+	return rep, nil
 }
 
 // commitIntentLocked records a finished extent move in the file table:
@@ -259,10 +279,23 @@ func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, 
 	kOld := oldCC.code.DataSymbols()
 	kNew := newCC.code.DataSymbols()
 	p := newCC.code.Placement()
+	count := stripesFor(e.Blocks, kNew)
 	var read atomic.Int64
 	var mu sync.Mutex
 	var staged []string
+	// Per-stage timings: fill and emit for one stripe run back to back
+	// in the same pipeline worker with only the encode between them, so
+	// fillEnd[stripe] → emit-entry measures the encode stage exactly.
+	// Each slot is written and read by the worker owning that stripe.
+	var fillEnd []time.Time
+	if s.obs != nil {
+		fillEnd = make([]time.Time, count)
+	}
 	fill := func(stripe int, blocks [][]byte) error {
+		var t0 time.Time
+		if s.obs != nil {
+			t0 = time.Now()
+		}
 		for j, dst := range blocks {
 			// Both layouts stripe the extent's block sequence, so new
 			// stripe/symbol (stripe, j) is extent-local data block l,
@@ -279,9 +312,19 @@ func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, 
 			}
 			read.Add(1)
 		}
+		if s.obs != nil {
+			end := time.Now()
+			s.obs.tcRead.Observe(end.Sub(t0).Nanoseconds())
+			fillEnd[stripe] = end
+		}
 		return nil
 	}
 	emit := func(stripe core.EncodedStripe) error {
+		var t0 time.Time
+		if s.obs != nil {
+			t0 = time.Now()
+			s.obs.tcEncode.Observe(t0.Sub(fillEnd[stripe.Index]).Nanoseconds())
+		}
 		for sym, buf := range stripe.Symbols {
 			for _, v := range p.SymbolNodes[sym] {
 				path := s.extentBlockPath(v, name, fi, ext, stripe.Index, sym)
@@ -292,6 +335,9 @@ func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, 
 				staged = append(staged, path)
 				mu.Unlock()
 			}
+		}
+		if s.obs != nil {
+			s.obs.tcWrite.Observe(time.Since(t0).Nanoseconds())
 		}
 		return nil
 	}
@@ -312,7 +358,6 @@ func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, 
 		workers = granted
 	}
 	defer s.encodeWorkers.Add(-int64(workers))
-	count := stripesFor(e.Blocks, kNew)
 	err := newCC.striper.EncodeStreamFrom(count, workers, s.payloadPool, fill, emit)
 	return staged, int(read.Load()), err
 }

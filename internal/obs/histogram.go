@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: values 0..15 get exact buckets, and every
+// power-of-two range above that is split into histSub log-spaced
+// sub-buckets (relative error ≤ 1/histSub within a bucket), up to a top
+// bucket at histTopLo that absorbs everything beyond — with Min/Max
+// tracked exactly, so tail quantiles of pathological outliers still
+// report a true ceiling. For nanosecond latencies the covered range is
+// ~0ns to ~1.2 hours, plenty for any single storage operation.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per power of two
+	histMaxExp  = 42               // top of the bucketed range: 2^42 (~73 min in ns)
+
+	// histBuckets is the total bucket count: exact buckets for values
+	// below 2*histSub, histSub per octave up to histMaxExp, plus the
+	// overflow bucket.
+	histBuckets = (histMaxExp-histSubBits)*histSub + histSub + 1
+)
+
+// histTopLo is the lower bound of the overflow bucket: every value at
+// or beyond it lands there.
+const histTopLo = int64(1) << histMaxExp
+
+// Histogram is a lock-free log-bucketed value recorder sized for
+// latency-in-nanoseconds (any non-negative int64 works; negatives
+// clamp to zero). Observe is a few atomic adds; quantiles come from
+// Snapshot, never from the live buckets, so p50 ≤ p99 ≤ p999 holds by
+// construction on whatever state one snapshot captured.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 until the first observation
+	return h
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 2*histSub {
+		return int(v) // exact buckets for small values
+	}
+	e := bits.Len64(uint64(v)) - 1 // position of the most significant bit
+	if e >= histMaxExp {
+		return histBuckets - 1 // overflow bucket
+	}
+	mantissa := int((v >> (uint(e) - histSubBits)) & (histSub - 1))
+	return (e-histSubBits)*histSub + histSub + mantissa
+}
+
+// bucketLo returns the smallest value that maps to bucket i.
+func bucketLo(i int) int64 {
+	if i < 2*histSub {
+		return int64(i)
+	}
+	if i >= histBuckets-1 {
+		return histTopLo
+	}
+	e := uint(i/histSub - 1 + histSubBits)
+	mantissa := int64((i - histSub) % histSub)
+	return int64(1)<<e + mantissa<<(e-histSubBits)
+}
+
+// bucketHi returns the largest value that maps to bucket i (the
+// overflow bucket has no finite ceiling; callers clamp to Max).
+func bucketHi(i int) int64 {
+	if i >= histBuckets-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	return bucketLo(i+1) - 1
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures the histogram's state as plain mergeable data.
+// Concurrent Observes may or may not be included; the snapshot itself
+// is a fixed distribution, so quantiles computed from it are mutually
+// consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+	}
+	var total int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Lo: bucketLo(i), Count: n})
+		total += int64(n)
+	}
+	// A writer racing the capture can leave count behind the bucket
+	// total (or ahead of it); pin Count to the buckets so quantile
+	// ranks are computed against the mass actually captured.
+	if total != s.Count {
+		s.Count = total
+	}
+	return s
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count
+// observations at or above Lo (and below the next bucket's Lo).
+type HistogramBucket struct {
+	Lo    int64  `json:"lo"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at one capture: totals,
+// exact extremes, and the sparse non-empty buckets in ascending order.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min,omitempty"`
+	Max     int64             `json:"max,omitempty"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Quantile returns the value at rank q in [0, 1]: the upper bound of
+// the bucket holding the q-th observation, clamped to the exact
+// [Min, Max] observed — so a single-observation histogram reports that
+// exact value at every quantile, and q of 0 or 1 report the true
+// extremes. An empty snapshot reports 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	v := s.Max
+	for _, b := range s.Buckets {
+		cum += int64(b.Count)
+		if cum >= rank {
+			v = bucketHi(bucketOf(b.Lo))
+			break
+		}
+	}
+	if v > s.Max {
+		v = s.Max
+	}
+	if v < s.Min {
+		v = s.Min
+	}
+	return v
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge folds another snapshot's observations into this one, the
+// cross-process accumulation primitive behind the persisted metrics
+// file: bucket counts add, totals add, extremes combine.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = HistogramSnapshot{Count: o.Count, Sum: o.Sum, Min: o.Min, Max: o.Max,
+			Buckets: append([]HistogramBucket(nil), o.Buckets...)}
+		return
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	byLo := make(map[int64]int, len(s.Buckets))
+	for i, b := range s.Buckets {
+		byLo[b.Lo] = i
+	}
+	for _, b := range o.Buckets {
+		if i, ok := byLo[b.Lo]; ok {
+			s.Buckets[i].Count += b.Count
+		} else {
+			s.Buckets = append(s.Buckets, b)
+		}
+	}
+	sortBuckets(s.Buckets)
+}
+
+// sortBuckets restores ascending-Lo order after a merge appended
+// buckets out of place (insertion sort: merges touch few buckets).
+func sortBuckets(bs []HistogramBucket) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Lo < bs[j-1].Lo; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip checks that every bucket boundary maps into its
+// own bucket and that bucket ranges tile the value space without gaps.
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketLo(i), bucketHi(i)
+		if bucketOf(lo) != i {
+			t.Fatalf("bucketOf(bucketLo(%d)=%d) = %d", i, lo, bucketOf(lo))
+		}
+		if i < histBuckets-1 {
+			if bucketOf(hi) != i {
+				t.Fatalf("bucketOf(bucketHi(%d)=%d) = %d", i, hi, bucketOf(hi))
+			}
+			if next := bucketLo(i + 1); next != hi+1 {
+				t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", i, hi, i+1, next)
+			}
+		}
+	}
+	// Small values are exact buckets.
+	for v := int64(0); v < 2*histSub; v++ {
+		if bucketLo(bucketOf(v)) != v || bucketHi(bucketOf(v)) != v {
+			t.Fatalf("value %d not in an exact bucket", v)
+		}
+	}
+}
+
+// TestHistogramZeroObservations: an empty histogram reports zero
+// everywhere instead of garbage or a panic.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not empty: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %g, want 0", s.Mean())
+	}
+}
+
+// TestHistogramSingleObservation: with one sample, every quantile is
+// exactly that sample — the [Min, Max] clamp defeats bucket rounding.
+func TestHistogramSingleObservation(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 1000, 123457, histTopLo + 5} {
+		h := NewHistogram()
+		h.Observe(v)
+		s := h.Snapshot()
+		if s.Count != 1 || s.Min != v || s.Max != v || s.Sum != v {
+			t.Fatalf("Observe(%d): snapshot %+v", v, s)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			if got := s.Quantile(q); got != v {
+				t.Errorf("Observe(%d): Quantile(%g) = %d", v, q, got)
+			}
+		}
+	}
+}
+
+// TestHistogramBeyondTopBucket: values past the bucketed range land in
+// the overflow bucket, are counted, and report through Max/quantiles
+// as the exact observed ceiling.
+func TestHistogramBeyondTopBucket(t *testing.T) {
+	h := NewHistogram()
+	huge := int64(math.MaxInt64)
+	h.Observe(histTopLo)      // first overflow value
+	h.Observe(histTopLo << 3) // deep overflow
+	h.Observe(huge)           // the largest possible value
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Lo != histTopLo || s.Buckets[0].Count != 3 {
+		t.Fatalf("overflow values scattered: %+v", s.Buckets)
+	}
+	if s.Max != huge {
+		t.Fatalf("max = %d, want %d", s.Max, huge)
+	}
+	if got := s.Quantile(0.999); got != huge {
+		t.Fatalf("overflow Quantile(0.999) = %d, want clamped Max %d", got, huge)
+	}
+	// Negative observations clamp to zero rather than corrupting state.
+	h.Observe(-17)
+	if s := h.Snapshot(); s.Min != 0 {
+		t.Fatalf("negative observation: min = %d, want 0", s.Min)
+	}
+}
+
+// TestHistogramQuantilesKnownDistribution pins quantile accuracy on a
+// uniform 1..1000 distribution: each quantile lands within one bucket
+// width (≤ 1/histSub relative error) of the true value and the
+// quantile function is monotone.
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {0.999, 999}} {
+		got := s.Quantile(tc.q)
+		if got < prev {
+			t.Errorf("quantiles not monotone: Quantile(%g) = %d < %d", tc.q, got, prev)
+		}
+		prev = got
+		rel := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if rel > 1.0/histSub+0.01 {
+			t.Errorf("Quantile(%g) = %d, want %d ± %d%%", tc.q, got, tc.want, 100/histSub)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (the race detector watches the lock-free paths) and
+// checks that snapshots taken mid-flight stay internally consistent:
+// quantiles monotone, extremes bounding the buckets, totals matching.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const writers = 8
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := int64(w + 1)
+			for i := 0; i < perWriter; i++ {
+				h.Observe(v * int64(i%1024))
+			}
+		}()
+	}
+	// Reader: snapshot while writers run; every snapshot must be
+	// self-consistent even though it races the observers.
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var prev int64
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				cur := s.Quantile(q)
+				if cur < prev {
+					t.Errorf("mid-flight quantiles not monotone: %d after %d", cur, prev)
+					return
+				}
+				prev = cur
+			}
+			if s.Count > 0 && (s.Quantile(0.999) > s.Max || s.Quantile(0) < s.Min) {
+				t.Errorf("quantiles escaped [min=%d, max=%d]", s.Min, s.Max)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	s := h.Snapshot()
+	if want := int64(writers * perWriter); s.Count != want {
+		t.Fatalf("final count = %d, want %d", s.Count, want)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += int64(b.Count)
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestHistogramMerge folds two disjoint distributions and checks the
+// union's totals, extremes and quantile ordering.
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		a.Observe(v)
+	}
+	for v := int64(10000); v <= 10100; v++ {
+		b.Observe(v)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if want := int64(100 + 101); sa.Count != want {
+		t.Fatalf("merged count = %d, want %d", sa.Count, want)
+	}
+	if sa.Min != 1 || sa.Max != 10100 {
+		t.Fatalf("merged extremes [%d, %d], want [1, 10100]", sa.Min, sa.Max)
+	}
+	// 100 small values then 101 large ones: the median (rank 101) is
+	// the first large value, so both quantiles sit in b's range.
+	if p50, p99 := sa.Quantile(0.5), sa.Quantile(0.99); p50 < 9000 || p50 > p99 || p99 > 10100 {
+		t.Fatalf("merged quantiles p50=%d p99=%d implausible", p50, p99)
+	}
+	for i := 1; i < len(sa.Buckets); i++ {
+		if sa.Buckets[i].Lo <= sa.Buckets[i-1].Lo {
+			t.Fatalf("merged buckets not sorted at %d", i)
+		}
+	}
+	// Merging into an empty snapshot copies, not aliases.
+	var empty HistogramSnapshot
+	empty.Merge(sb)
+	empty.Buckets[0].Count = 999999
+	if sb.Buckets[0].Count == 999999 {
+		t.Fatal("Merge into empty aliased the source buckets")
+	}
+}

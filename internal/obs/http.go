@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an expvar-compatible HTTP handler: a GET renders the
+// registry as one flat JSON object, each metric a top-level key —
+// counters and gauges as numbers, histograms and traces as structured
+// values — the same "/debug/vars" shape expvar scrapers already parse.
+// Every request snapshots the registry, so the response is internally
+// consistent.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		flat := make(map[string]any,
+			len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Traces))
+		for name, v := range s.Counters {
+			flat[name] = v
+		}
+		for name, v := range s.Gauges {
+			flat[name] = v
+		}
+		for name, h := range s.Histograms {
+			flat[name] = h
+		}
+		for name, events := range s.Traces {
+			flat["trace_"+name] = events
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(flat) //nolint:errcheck // a broken client connection is not actionable
+	})
+}

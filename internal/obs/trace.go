@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap is the event capacity of a Trace created without an
+// explicit size: enough to hold the recent lifecycle history of a busy
+// store (every journal transition of hundreds of moves) in a few tens
+// of kilobytes.
+const DefaultTraceCap = 256
+
+// Event is one discrete lifecycle occurrence: a journal state
+// transition, a recovery outcome, a daemon decision. Seq orders events
+// within one trace (and survives snapshot merges, which resequence);
+// Time is wall-clock nanoseconds. Name/Ext identify the object the
+// event is about (a file, an extent) and Detail carries free-form
+// context such as "rs-14-10 -> pentagon".
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	Time   int64  `json:"time_unix_nano"`
+	Type   string `json:"type"`
+	Name   string `json:"name,omitempty"`
+	Ext    int    `json:"ext,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-capacity ring of Events: emits are cheap and never
+// block on consumers, old events fall off the back, and Events returns
+// the retained window oldest first. Discrete lifecycle events are rare
+// next to data-plane operations, so a mutex (not sharding) is the
+// right cost here.
+type Trace struct {
+	mu   sync.Mutex
+	seq  uint64
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewTrace returns an empty ring holding at most capacity events
+// (capacity <= 0 uses DefaultTraceCap).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Emit appends an event, stamping Seq always and Time when the caller
+// left it zero. The oldest event is overwritten once the ring is full.
+func (t *Trace) Emit(e Event) {
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	t.buf[t.next] = e
+	if t.next++; t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TokenBucket is a deterministic token-bucket rate limiter over
@@ -152,9 +154,17 @@ type Daemon struct {
 	// use it to refresh tracker heat from disk. Set it before Start.
 	OnTick func(now float64)
 
+	// Obs, when non-nil, receives the daemon's metrics: DaemonStats
+	// mirrored onto counters, per-scan latency, and budget gauges
+	// (bucket balance, pacer backlog). Point it at the store's registry
+	// to serve one combined snapshot, or at a private registry to keep
+	// namespaces apart. Set it before the first Tick.
+	Obs *obs.Registry
+
 	m      *Manager
 	cfg    DaemonConfig
 	bucket *TokenBucket
+	dobs   *daemonObs // resolved from Obs at first instrumented tick
 
 	// paceUntil is the time the transfer pacer has booked through:
 	// each admitted move's bytes occupy the window [max(now,
@@ -211,6 +221,16 @@ func NewDaemon(m *Manager, cfg DaemonConfig) (*Daemon, error) {
 func (d *Daemon) Tick(now float64) ([]MoveResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.Obs != nil && d.dobs == nil {
+		d.dobs = newDaemonObs(d.Obs)
+	}
+	if d.dobs != nil {
+		start := time.Now()
+		before := d.stats
+		defer func() {
+			d.dobs.observeTick(d, before, now, time.Since(start))
+		}()
+	}
 	d.stats.Ticks++
 	if d.OnTick != nil {
 		d.OnTick(now)

@@ -1,0 +1,77 @@
+package tier
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names the daemon registers on its optional registry, also
+// documented in docs/OBSERVABILITY.md (keep the two in sync).
+const (
+	metricDaemonTicks      = "daemon_ticks_total"
+	metricDaemonMoves      = "daemon_moves_total"
+	metricDaemonPromotions = "daemon_promotions_total"
+	metricDaemonDemotions  = "daemon_demotions_total"
+	metricDaemonDeferred   = "daemon_deferred_total"
+	metricDaemonErrors     = "daemon_errors_total"
+	metricDaemonBytesMoved = "daemon_bytes_moved_total"
+	// metricDaemonBucketTokens is the token-bucket byte balance after
+	// the latest scan — negative when an oversized move ran into debt.
+	metricDaemonBucketTokens = "daemon_bucket_tokens"
+	// metricDaemonPaceLag is how many seconds of admitted transfer
+	// windows the pacer has booked beyond the latest scan's clock: the
+	// in-flight backlog AdmitHorizon feeds back into admission.
+	metricDaemonPaceLag = "daemon_pace_lag_seconds"
+	metricDaemonTickNs  = "daemon_tick_ns"
+)
+
+// daemonObs holds the daemon's resolved metric handles, mirroring
+// DaemonStats onto counters so one registry snapshot carries the
+// daemon's work alongside the store's data-plane metrics.
+type daemonObs struct {
+	ticks, moves          *obs.Counter
+	promotions, demotions *obs.Counter
+	deferred, errs        *obs.Counter
+	bytesMoved            *obs.Counter
+	bucketTokens, paceLag *obs.Gauge
+	tickNs                *obs.Histogram
+}
+
+func newDaemonObs(reg *obs.Registry) *daemonObs {
+	return &daemonObs{
+		ticks:        reg.Counter(metricDaemonTicks),
+		moves:        reg.Counter(metricDaemonMoves),
+		promotions:   reg.Counter(metricDaemonPromotions),
+		demotions:    reg.Counter(metricDaemonDemotions),
+		deferred:     reg.Counter(metricDaemonDeferred),
+		errs:         reg.Counter(metricDaemonErrors),
+		bytesMoved:   reg.Counter(metricDaemonBytesMoved),
+		bucketTokens: reg.Gauge(metricDaemonBucketTokens),
+		paceLag:      reg.Gauge(metricDaemonPaceLag),
+		tickNs:       reg.Histogram(metricDaemonTickNs),
+	}
+}
+
+// observeTick publishes one scan's outcome: the DaemonStats delta since
+// the scan began (so every admit/defer/error branch is covered by a
+// single call site), the scan's wall duration, and the budget gauges at
+// the scan's clock. Caller holds d.mu.
+func (o *daemonObs) observeTick(d *Daemon, before DaemonStats, now float64, elapsed time.Duration) {
+	o.ticks.Add(int64(d.stats.Ticks - before.Ticks))
+	o.moves.Add(int64(d.stats.Moves - before.Moves))
+	o.promotions.Add(int64(d.stats.Promotions - before.Promotions))
+	o.demotions.Add(int64(d.stats.Demotions - before.Demotions))
+	o.deferred.Add(int64(d.stats.Deferred - before.Deferred))
+	o.errs.Add(int64(d.stats.Errors - before.Errors))
+	o.bytesMoved.Add(int64(d.stats.BytesMoved - before.BytesMoved))
+	o.tickNs.Observe(elapsed.Nanoseconds())
+	if d.bucket != nil {
+		o.bucketTokens.Set(d.bucket.Available(now))
+	}
+	if lag := d.paceUntil - now; lag > 0 {
+		o.paceLag.Set(lag)
+	} else {
+		o.paceLag.Set(0)
+	}
+}
