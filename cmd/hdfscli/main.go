@@ -15,11 +15,20 @@
 //	hdfscli -store DIR kill NODE...
 //	hdfscli -store DIR repair NODE...
 //	hdfscli -store DIR fsck
+//	hdfscli -store DIR scrub [-budget MB]
 //	hdfscli -store DIR stats [-json]
 //	hdfscli -store DIR tier status
 //	hdfscli -store DIR tier set [-ext N] NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
-//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-horizon S] [-duration S] [-metrics ADDR] [rebalance flags]
+//	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-scrub MB] [-horizon S] [-duration S] [-metrics ADDR] [rebalance flags]
+//
+// scrub verifies block checksums (resuming across invocations, at most
+// -budget MB per run; 0 means one full pass) and heals whatever latent
+// corruption it finds through quarantine + reconstruct + write-back;
+// it exits nonzero when any block is unrepairable. The daemon's -scrub
+// flag trickles the same verification along in the background, granting
+// it up to that many MB of the shared move budget per scan so scrubbing
+// never starves rebalance moves.
 //
 // Every command Opens the store, which replays or rolls back any
 // transcode a crashed process left mid-flight (the manifest journal);
@@ -78,6 +87,8 @@ func main() {
 		err = doNodes(*store, args[1:], "repair")
 	case "fsck":
 		err = doFsck(*store)
+	case "scrub":
+		err = doScrub(*store, args[1:])
 	case "stats":
 		err = doStats(*store, args[1:])
 	case "tier":
@@ -92,7 +103,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]}}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]}}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
@@ -442,6 +453,7 @@ func doTierDaemon(store string, args []string) error {
 	dwell := fs.Float64("dwell", 0, "min seconds between moves of one file")
 	every := fs.Float64("every", 10, "seconds between rebalance scans")
 	budget := fs.Float64("budget", 0, "transcode budget, MB/s (0 = unlimited)")
+	scrub := fs.Float64("scrub", 0, "trickle-scrub up to this many MB per scan from the leftover move budget (0 = off)")
 	horizon := fs.Float64("horizon", 0, "admission horizon: max seconds of booked transfer window per scan (0 = unlimited)")
 	duration := fs.Float64("duration", 0, "run this many seconds (0 = until interrupt)")
 	metrics := fs.String("metrics", "", "serve live metrics over HTTP on this address (e.g. :8080)")
@@ -471,9 +483,13 @@ func doTierDaemon(store string, args []string) error {
 		BytesPerSec:  *budget * 1e6,
 		BlockBytes:   s.BlockSize(),
 		AdmitHorizon: *horizon,
+		ScrubPerScan: *scrub * 1e6,
 	})
 	if err != nil {
 		return err
+	}
+	if *scrub > 0 {
+		d.Scrub = tier.StoreTarget{Store: s}
 	}
 	// Concurrent hdfscli gets append heat to the persisted tracker;
 	// pick those accesses up before every scan.
@@ -518,12 +534,53 @@ func doTierDaemon(store string, args []string) error {
 		return err
 	}
 	st := d.Stats()
-	fmt.Printf("daemon stopped: %d scans, %d moves (%d promote / %d demote), %d deferred, %.1f MB moved\n",
-		st.Ticks, st.Moves, st.Promotions, st.Demotions, st.Deferred, st.BytesMoved/1e6)
+	fmt.Printf("daemon stopped: %d scans, %d moves (%d promote / %d demote), %d deferred, %.1f MB moved, %.1f MB scrubbed\n",
+		st.Ticks, st.Moves, st.Promotions, st.Demotions, st.Deferred, st.BytesMoved/1e6, st.ScrubbedBytes/1e6)
+	// Unrepairable corruption a background scrub found comes back
+	// through the daemon's error stats: exit nonzero so supervisors see
+	// it.
 	if err := d.Err(); err != nil {
 		return err
 	}
 	return flushObs(store, s)
+}
+
+// doScrub runs the trickle scrubber in the foreground: verify block
+// CRCs in scan order (resuming wherever the previous scrub — CLI or
+// daemon — stopped), healing every latent error found, at most -budget
+// MB this invocation. Unrepairable blocks make the command exit
+// nonzero: that is the signal a cron-driven scrub rotation alerts on.
+func doScrub(store string, args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	budget := fs.Float64("budget", 0, "verify at most this many MB (0 = one full pass)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openStore(store)
+	if err != nil {
+		return err
+	}
+	rep, err := s.Scrub(int64(*budget * 1e6))
+	if err != nil {
+		return err
+	}
+	coverage := "partial pass; rerun to continue"
+	if rep.Wrapped {
+		coverage = "full pass"
+	}
+	fmt.Printf("scrubbed %d blocks (%.2f MB, %s): %d corrupt, %d missing, %d healed, %d unrepairable\n",
+		rep.BlocksScanned, float64(rep.BytesScanned)/1e6,
+		coverage, rep.CorruptFound, rep.MissingFound, rep.Healed, rep.Unrepairable)
+	if q, qErr := s.Quarantined(); qErr == nil && len(q) > 0 {
+		fmt.Printf("%d captured bad frames under %s/\n", len(q), hdfsraid.QuarantineDir)
+	}
+	if err := flushObs(store, s); err != nil {
+		return err
+	}
+	if rep.Unrepairable > 0 {
+		return fmt.Errorf("%d blocks unrepairable (more failures than their codes tolerate)", rep.Unrepairable)
+	}
+	return nil
 }
 
 func doFsck(store string) error {

@@ -1,0 +1,171 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDeterministicFromSeed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node-03", "blk")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		f := New(Config{Seed: 7, ReadErr: 0.5})
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			rc, err := f.Open(path)
+			if err == nil {
+				rc.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs between identically seeded runs", i)
+		}
+	}
+	varied := false
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("ReadErr 0.5 never varied over 64 opens")
+	}
+}
+
+func TestNodeOutageAndToggle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node-01", "blk")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Seed: 1})
+	f.SetNodeDown(1, true)
+	if _, err := f.Open(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open on down node: got %v, want ErrInjected", err)
+	}
+	if err := f.WriteFile(path, []byte("y"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on down node: got %v, want ErrInjected", err)
+	}
+	if err := f.Remove(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove on down node: got %v, want ErrInjected", err)
+	}
+	// Disabling injection overrides the outage entirely.
+	f.SetEnabled(false)
+	rc, err := f.Open(path)
+	if err != nil {
+		t.Fatalf("open with injection disabled: %v", err)
+	}
+	rc.Close()
+	f.SetEnabled(true)
+	f.SetNodeDown(1, false)
+	if _, err := f.Open(path); err != nil {
+		t.Fatalf("open after node restored: %v", err)
+	}
+	if f.Stats().DownDenials != 3 {
+		t.Fatalf("DownDenials = %d, want 3", f.Stats().DownDenials)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node-00", "blk")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Seed: 3, TornWrite: 1})
+	frame := make([]byte, 128)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	err := f.WriteFile(path, frame, 0o644)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: got %v, want ErrInjected", err)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("reading torn file: %v", readErr)
+	}
+	if len(got) >= len(frame) {
+		t.Fatalf("torn write persisted %d bytes, want a strict prefix of %d", len(got), len(frame))
+	}
+	for i, b := range got {
+		if b != frame[i] {
+			t.Fatalf("torn write byte %d = %d, want %d (must be a prefix, not garbage)", i, b, frame[i])
+		}
+	}
+	if f.Stats().TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", f.Stats().TornWrites)
+	}
+}
+
+func TestBitFlipIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node-00", "blk")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Seed: 5, CorruptWrite: 1})
+	frame := make([]byte, 64)
+	if err := f.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatalf("bit-flip write must report success, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frame) {
+		t.Fatalf("bit-flip write persisted %d bytes, want %d", len(got), len(frame))
+	}
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ frame[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit-flip write changed %d bits, want exactly 1", diff)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node-00", "blk")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Seed: 9, LatencyProb: 1, Latency: 5 * time.Millisecond})
+	start := time.Now()
+	rc, err := f.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rc)
+	rc.Close()
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("open with injected latency took %v, want >= 5ms", elapsed)
+	}
+	if f.Stats().Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", f.Stats().Delays)
+	}
+}

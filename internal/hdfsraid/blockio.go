@@ -1,0 +1,84 @@
+package hdfsraid
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// BlockIO is the seam between the store and its block files: every
+// block read, write, rename and removal the data plane performs goes
+// through it, so a fault-injecting implementation (internal/faultfs)
+// can corrupt, tear, delay or fail any of them without touching store
+// logic. The default is a plain passthrough to the os package.
+//
+// Only block files route through the seam. The manifest, the heat and
+// move sidecars, the advisory lock file, and the test-only helpers
+// (KillNode, CorruptBlock) stay on direct os calls: manifest
+// durability has its own atomic tmp+fsync+rename path, and the seam
+// exists to exercise the block-level detection and healing machinery
+// above it.
+type BlockIO interface {
+	// Open opens a block file for reading.
+	Open(path string) (io.ReadCloser, error)
+	// WriteFile writes a complete block frame.
+	WriteFile(path string, data []byte, perm os.FileMode) error
+	// Rename atomically moves a block file (staged-block promotion,
+	// quarantine, heal write-back).
+	Rename(oldPath, newPath string) error
+	// Remove deletes a block file.
+	Remove(path string) error
+}
+
+// osBlockIO is the default passthrough BlockIO.
+type osBlockIO struct{}
+
+func (osBlockIO) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+func (osBlockIO) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+func (osBlockIO) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+func (osBlockIO) Remove(path string) error             { return os.Remove(path) }
+
+// SetBlockIO replaces the store's block-file I/O layer. Pass nil to
+// restore the default passthrough. Set it before serving traffic —
+// the field is read without synchronization on every block access.
+func (s *Store) SetBlockIO(bio BlockIO) {
+	if bio == nil {
+		bio = osBlockIO{}
+	}
+	s.bio = bio
+}
+
+// Transient-read retry bounds: a block read that fails with an error
+// other than a checksum mismatch or a missing file (an injected I/O
+// error, a flaky device) is retried a bounded number of times with
+// doubling backoff before the caller falls over to another replica or
+// a degraded reconstruct. ErrCorrupt and fs.ErrNotExist never retry:
+// they are verdicts about the bytes on disk, not the act of reading.
+const (
+	blockReadRetries = 2
+	blockReadBackoff = 200 * time.Microsecond
+)
+
+// transientReadErr reports whether a block-read failure is worth
+// retrying: anything that is neither a checksum verdict nor a missing
+// file.
+func transientReadErr(err error) bool {
+	return !errors.Is(err, ErrCorrupt) && !errors.Is(err, fs.ErrNotExist)
+}
+
+// readBlockInto reads and verifies one block file into frame through
+// the store's BlockIO seam, retrying transient errors with bounded
+// backoff. frame must be blockSize+4 bytes (typically from the frame
+// pool); the returned payload aliases frame[:blockSize].
+func (s *Store) readBlockInto(path string, frame []byte) ([]byte, error) {
+	data, err := readBlockFrame(s.bio, path, frame)
+	for attempt := 0; err != nil && transientReadErr(err) && attempt < blockReadRetries; attempt++ {
+		time.Sleep(blockReadBackoff << attempt)
+		data, err = readBlockFrame(s.bio, path, frame)
+	}
+	return data, err
+}

@@ -192,6 +192,19 @@ func (s *Store) queuedIntent(name string, ext int) *TranscodeIntent {
 	return nil
 }
 
+// pendingSwapLocked reports whether an extent has a journaled move
+// whose destructive swap phase began but never committed — possible
+// in-process when an I/O fault aborts completeSwap after its bounded
+// retries. Old and new layouts share block paths, so until Recover
+// rolls the swap forward the extent's on-disk state is a mix of both
+// and reading it under either code can return wrong bytes with valid
+// CRCs. Readers and the scrubber must refuse such extents. Caller
+// holds mu. (IntentStaged is harmless: the old layout is intact.)
+func (s *Store) pendingSwapLocked(name string, ext int) bool {
+	in := s.queuedIntent(name, ext)
+	return in != nil && in.State == IntentSwapping
+}
+
 // removeIntent drops one entry (matched by identity) from the journal
 // queue. Caller holds mu and must save the manifest afterwards.
 func (s *Store) removeIntent(in *TranscodeIntent) {
@@ -214,7 +227,7 @@ func (s *Store) stagedComplete(in *TranscodeIntent) bool {
 	frame := s.framePool.Get()
 	defer s.framePool.Put(frame)
 	for _, rel := range in.Staged {
-		if _, err := readBlockInto(filepath.Join(s.root, rel)+tmpSuffix, frame); err != nil {
+		if _, err := s.readBlockInto(filepath.Join(s.root, rel)+tmpSuffix, frame); err != nil {
 			return false
 		}
 	}
@@ -249,7 +262,7 @@ func (s *Store) replayIntent(in *TranscodeIntent) (int, error) {
 // was never touched, so the file simply stays on its old code.
 func (s *Store) rollbackIntent(in *TranscodeIntent) error {
 	for _, rel := range in.Staged {
-		os.Remove(filepath.Join(s.root, rel) + tmpSuffix)
+		s.bio.Remove(filepath.Join(s.root, rel) + tmpSuffix)
 	}
 	s.removeIntent(in)
 	return s.saveManifest()
@@ -295,7 +308,7 @@ func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
 					}
 					continue
 				}
-				if os.Remove(path) == nil {
+				if s.bio.Remove(path) == nil {
 					res.removed++
 				}
 			}
@@ -303,7 +316,7 @@ func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
 	}
 	for n, rel := range in.Staged {
 		path := filepath.Join(s.root, rel)
-		switch err := os.Rename(path+tmpSuffix, path); {
+		switch err := s.bio.Rename(path+tmpSuffix, path); {
 		case err == nil:
 			res.renamed++
 		case os.IsNotExist(err):
@@ -326,7 +339,10 @@ func (s *Store) completeSwap(in *TranscodeIntent) (swapResult, error) {
 
 // sweepOrphans removes staged .tc blocks that no journal record
 // references — the residue of a transcode that crashed before its
-// intent was persisted. Caller holds mu.
+// intent was persisted — and any .heal write-back temp frames left by
+// a heal interrupted mid-rename (never journaled: the quarantined or
+// reconstructable original still exists, so the temp is pure residue).
+// Caller holds mu.
 func (s *Store) sweepOrphans() (int, error) {
 	referenced := map[string]bool{}
 	for _, in := range s.manifest.Queue {
@@ -338,12 +354,17 @@ func (s *Store) sweepOrphans() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	healTemps, err := filepath.Glob(filepath.Join(s.root, "node-*", "*"+healSuffix+"*"))
+	if err != nil {
+		return 0, err
+	}
+	matches = append(matches, healTemps...)
 	removed := 0
 	for _, path := range matches {
 		if referenced[path] {
 			continue
 		}
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		if err := s.bio.Remove(path); err != nil && !os.IsNotExist(err) {
 			return removed, err
 		}
 		removed++

@@ -52,9 +52,28 @@ const (
 	metricJournalRolledBack = "journal_rolled_back_total"
 	metricJournalOrphans    = "journal_orphans_total"
 
+	// Scrubbing and self-healing: Scrub pass durations, frames/bytes
+	// verified, latent errors found (corrupt + missing), and how each
+	// found error ended — healed by the scrubber, healed inline by a
+	// read (read_heal), or unrepairable this pass. quarantine counts
+	// bad frames captured under .quarantine/.
+	metricScrubNs           = "store_scrub_ns"
+	metricScrubBytes        = "scrub_bytes_total"
+	metricScrubBlocks       = "scrub_blocks_total"
+	metricScrubFound        = "scrub_corrupt_found_total"
+	metricScrubHealed       = "scrub_healed_total"
+	metricScrubUnrepairable = "scrub_unrepairable_total"
+	metricReadHeal          = "read_heal_total"
+	metricQuarantine        = "quarantine_total"
+
 	// traceJournal is the event ring recording every journal state
 	// transition and recovery outcome.
 	traceJournal = "journal"
+	// traceHeal records the healing lifecycle: quarantine (bad frame
+	// captured), healed (repaired frame written back), unquarantine
+	// (reconstruction failed, captured frame restored), unrepairable
+	// (a scrub-found error healing could not fix this pass).
+	traceHeal = "heal"
 )
 
 // storeObs bundles the store's pre-resolved metric handles so hot
@@ -69,6 +88,7 @@ type storeObs struct {
 	putNs                             *obs.Histogram
 	repairNs, fsckNs                  *obs.Histogram
 	tcRead, tcEncode, tcWrite, tcSwap *obs.Histogram
+	scrubNs                           *obs.Histogram
 
 	bytesIn, bytesOut               *obs.Counter
 	readsDegraded                   *obs.Counter
@@ -77,41 +97,55 @@ type storeObs struct {
 	tcMoves, tcBytesMoved           *obs.Counter
 	tcBlocksRead, tcBlocksWritten   *obs.Counter
 	jReplayed, jRolledBack, jOrphan *obs.Counter
+	scrubBytes, scrubBlocks         *obs.Counter
+	scrubFound, scrubHealed         *obs.Counter
+	scrubUnrepairable               *obs.Counter
+	readHeal, quarantine            *obs.Counter
 
 	journal *obs.Trace
+	heal    *obs.Trace
 }
 
 // newStoreObs builds the store's registry and resolves every handle.
 func newStoreObs() *storeObs {
 	reg := obs.NewRegistry()
 	return &storeObs{
-		reg:             reg,
-		getIntact:       reg.Histogram(metricGetIntactNs),
-		getDegraded:     reg.Histogram(metricGetDegradedNs),
-		readBlockIntact: reg.Histogram(metricReadBlockIntactNs),
-		readBlockDegr:   reg.Histogram(metricReadBlockDegradedNs),
-		putNs:           reg.Histogram(metricPutNs),
-		repairNs:        reg.Histogram(metricRepairNs),
-		fsckNs:          reg.Histogram(metricFsckNs),
-		tcRead:          reg.Histogram(metricTcReadNs),
-		tcEncode:        reg.Histogram(metricTcEncodeNs),
-		tcWrite:         reg.Histogram(metricTcWriteNs),
-		tcSwap:          reg.Histogram(metricTcSwapNs),
-		bytesIn:         reg.Counter(metricBytesIn),
-		bytesOut:        reg.Counter(metricBytesOut),
-		readsDegraded:   reg.Counter(metricReadsDegraded),
-		repairBlocks:    reg.Counter(metricRepairBlocksRestored),
-		repairTransfers: reg.Counter(metricRepairTransfers),
-		fsckMissing:     reg.Counter(metricFsckMissing),
-		fsckCorrupt:     reg.Counter(metricFsckCorrupt),
-		tcMoves:         reg.Counter(metricTcMoves),
-		tcBytesMoved:    reg.Counter(metricTcBytesMoved),
-		tcBlocksRead:    reg.Counter(metricTcBlocksRead),
-		tcBlocksWritten: reg.Counter(metricTcBlocksWritten),
-		jReplayed:       reg.Counter(metricJournalReplayed),
-		jRolledBack:     reg.Counter(metricJournalRolledBack),
-		jOrphan:         reg.Counter(metricJournalOrphans),
-		journal:         reg.Trace(traceJournal, obs.DefaultTraceCap),
+		reg:               reg,
+		getIntact:         reg.Histogram(metricGetIntactNs),
+		getDegraded:       reg.Histogram(metricGetDegradedNs),
+		readBlockIntact:   reg.Histogram(metricReadBlockIntactNs),
+		readBlockDegr:     reg.Histogram(metricReadBlockDegradedNs),
+		putNs:             reg.Histogram(metricPutNs),
+		repairNs:          reg.Histogram(metricRepairNs),
+		fsckNs:            reg.Histogram(metricFsckNs),
+		tcRead:            reg.Histogram(metricTcReadNs),
+		tcEncode:          reg.Histogram(metricTcEncodeNs),
+		tcWrite:           reg.Histogram(metricTcWriteNs),
+		tcSwap:            reg.Histogram(metricTcSwapNs),
+		bytesIn:           reg.Counter(metricBytesIn),
+		bytesOut:          reg.Counter(metricBytesOut),
+		readsDegraded:     reg.Counter(metricReadsDegraded),
+		repairBlocks:      reg.Counter(metricRepairBlocksRestored),
+		repairTransfers:   reg.Counter(metricRepairTransfers),
+		fsckMissing:       reg.Counter(metricFsckMissing),
+		fsckCorrupt:       reg.Counter(metricFsckCorrupt),
+		tcMoves:           reg.Counter(metricTcMoves),
+		tcBytesMoved:      reg.Counter(metricTcBytesMoved),
+		tcBlocksRead:      reg.Counter(metricTcBlocksRead),
+		tcBlocksWritten:   reg.Counter(metricTcBlocksWritten),
+		jReplayed:         reg.Counter(metricJournalReplayed),
+		jRolledBack:       reg.Counter(metricJournalRolledBack),
+		jOrphan:           reg.Counter(metricJournalOrphans),
+		scrubNs:           reg.Histogram(metricScrubNs),
+		scrubBytes:        reg.Counter(metricScrubBytes),
+		scrubBlocks:       reg.Counter(metricScrubBlocks),
+		scrubFound:        reg.Counter(metricScrubFound),
+		scrubHealed:       reg.Counter(metricScrubHealed),
+		scrubUnrepairable: reg.Counter(metricScrubUnrepairable),
+		readHeal:          reg.Counter(metricReadHeal),
+		quarantine:        reg.Counter(metricQuarantine),
+		journal:           reg.Trace(traceJournal, obs.DefaultTraceCap),
+		heal:              reg.Trace(traceHeal, obs.DefaultTraceCap),
 	}
 }
 

@@ -2,7 +2,6 @@ package hdfsraid
 
 import (
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/core"
@@ -75,6 +74,9 @@ func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (cost
 	if ext == len(fi.Extents) {
 		return 0, fmt.Errorf("hdfsraid: stripe %d beyond %q's extents", stripe, name)
 	}
+	if s.pendingSwapLocked(name, ext) {
+		return 0, fmt.Errorf("hdfsraid: %q extent %d is mid-swap in the journal; run Recover", name, ext)
+	}
 	cc, err := s.codecByName(fi.Extents[ext].Code)
 	if err != nil {
 		return 0, err
@@ -88,7 +90,7 @@ func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (cost
 	if s.OnReadExtent != nil {
 		s.OnReadExtent(name, ext)
 	}
-	return s.readDataBlockInto(dst, cc, name, fi, ext, local, symbol)
+	return s.readDataBlockInto(dst, cc, name, fi, ext, local, symbol, true)
 }
 
 // readDataBlockInto is the lock-free core of ReadBlockInto: deliver one
@@ -97,21 +99,41 @@ func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (cost
 // parity read plan, without touching the manifest lock or the heat
 // hook. It is shared by the public block read and the streaming
 // transcode source, whose workers call it concurrently while a sibling
-// move may hold the manifest lock.
-func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, fi FileInfo, ext, stripe, symbol int) (int, error) {
+// move may hold the manifest lock. When heal is set, replicas that
+// failed with a verdict (corrupt or missing) are repaired in place
+// from the delivered bytes once the read succeeds; transcode sources
+// and healing's own reconstruction reads pass false — the former must
+// not rewrite old-layout blocks mid-move, the latter must not recurse.
+func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, fi FileInfo, ext, stripe, symbol int, heal bool) (int, error) {
 	p := cc.code.Placement()
 
 	// One pooled frame serves every block file this read touches.
 	frame := s.framePool.Get()
 	defer s.framePool.Put(frame)
 
+	// healVerdicts collects replicas of the wanted symbol whose read
+	// failed for their bytes (not transiently); once dst holds the true
+	// payload, each is healed from it.
+	var healVerdicts []int
+	healAll := func() {
+		for _, v := range healVerdicts {
+			if s.healBlock(cc, name, fi, ext, stripe, symbol, v, dst) == nil && s.obs != nil {
+				s.obs.readHeal.Inc()
+			}
+		}
+	}
+
 	// Fast path: a healthy replica.
 	var downNodes []int
 	for _, v := range p.SymbolNodes[symbol] {
-		data, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, stripe, symbol), frame)
+		data, err := s.readBlockInto(s.extentBlockPath(v, name, fi, ext, stripe, symbol), frame)
 		if err == nil {
 			copy(dst, data)
+			healAll()
 			return 0, nil
+		}
+		if heal && !transientReadErr(err) {
+			healVerdicts = append(healVerdicts, v)
 		}
 		downNodes = append(downNodes, v)
 	}
@@ -119,35 +141,45 @@ func (s *Store) readDataBlockInto(dst []byte, cc codec, name string, fi FileInfo
 	// Degraded path: plan a partial-parity read around the dead
 	// replicas. The plan's decode coefficients come from the code's
 	// per-erasure-pattern cache, so repeated degraded reads of one
-	// failure pattern skip the matrix inversion.
+	// failure pattern skip the matrix inversion. A plan's source block
+	// can itself turn out corrupt or missing (latent errors cluster
+	// under real fault conditions); that is a verdict about its node,
+	// so mark the node down and re-plan — the loop is bounded because
+	// every pass grows downNodes and planning fails past the code's
+	// tolerance.
 	rp, ok := cc.code.(core.ReadPlanner)
 	if !ok {
 		return 0, fmt.Errorf("hdfsraid: code %s cannot plan reads", cc.code.Name())
 	}
-	plan, err := rp.PlanRead(symbol, downNodes, core.OffCluster)
-	if err != nil {
-		return 0, err
-	}
-	clear(dst)
 	payload := s.payloadPool.Get()
 	defer s.payloadPool.Put(payload)
-	for i, tr := range plan.Transfers {
-		clear(payload)
-		for _, term := range tr.Terms {
-			data, err := readBlockInto(s.extentBlockPath(tr.From, name, fi, ext, stripe, term.Symbol), frame)
-			if err != nil {
-				if os.IsNotExist(err) {
-					return 0, fmt.Errorf("hdfsraid: degraded read needs node %d symbol %d, which is also gone", tr.From, term.Symbol)
+replan:
+	for {
+		plan, err := rp.PlanRead(symbol, downNodes, core.OffCluster)
+		if err != nil {
+			return 0, err
+		}
+		clear(dst)
+		for i, tr := range plan.Transfers {
+			clear(payload)
+			for _, term := range tr.Terms {
+				data, err := s.readBlockInto(s.extentBlockPath(tr.From, name, fi, ext, stripe, term.Symbol), frame)
+				if err != nil {
+					if transientReadErr(err) {
+						return 0, err
+					}
+					downNodes = append(downNodes, tr.From)
+					continue replan
 				}
-				return 0, err
+				gf256.MulAddSlice(term.Coeff, data, payload)
 			}
-			gf256.MulAddSlice(term.Coeff, data, payload)
+			coeff := byte(1)
+			if plan.Coeffs != nil {
+				coeff = plan.Coeffs[i]
+			}
+			gf256.MulAddSlice(coeff, payload, dst)
 		}
-		coeff := byte(1)
-		if plan.Coeffs != nil {
-			coeff = plan.Coeffs[i]
-		}
-		gf256.MulAddSlice(coeff, payload, dst)
+		healAll()
+		return plan.Bandwidth(), nil
 	}
-	return plan.Bandwidth(), nil
 }

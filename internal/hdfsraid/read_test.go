@@ -3,7 +3,9 @@ package hdfsraid
 import (
 	"bytes"
 	"fmt"
+	"io/fs"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -59,11 +61,36 @@ func TestReadBlockDegradedAllCodes(t *testing.T) {
 	}
 }
 
+// readOnlyNode is a BlockIO that refuses writes and renames under one
+// node's directory: it pins a killed node down so self-healing reads
+// cannot resurrect its blocks, keeping a degraded-read test degraded.
+type readOnlyNode struct {
+	BlockIO
+	dir string
+}
+
+func (r readOnlyNode) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	if strings.Contains(path, r.dir) {
+		return fmt.Errorf("readOnlyNode: %s is write-blocked", path)
+	}
+	return r.BlockIO.WriteFile(path, data, perm)
+}
+
+func (r readOnlyNode) Rename(oldPath, newPath string) error {
+	if strings.Contains(newPath, r.dir) {
+		return fmt.Errorf("readOnlyNode: %s is write-blocked", newPath)
+	}
+	return r.BlockIO.Rename(oldPath, newPath)
+}
+
 // TestReadBlockConcurrentDegraded runs many goroutines through the
 // degraded read path of one failure pattern while others read healthy
 // symbols and whole files — the shape that shares the per-pattern
 // decode-plan cache and the frame/payload pools across readers. Run
-// under -race in CI, it guards the cache and pool concurrency.
+// under -race in CI, it guards the cache and pool concurrency. The
+// dead node is write-blocked through the BlockIO seam so self-healing
+// reads (which would otherwise restore it after the first degraded
+// read) keep every symbol-0 read on the degraded path.
 func TestReadBlockConcurrentDegraded(t *testing.T) {
 	s := newStore(t, "rs-9-6")
 	k := s.Code().DataSymbols()
@@ -76,6 +103,7 @@ func TestReadBlockConcurrentDegraded(t *testing.T) {
 	if err := s.KillNode(0); err != nil {
 		t.Fatal(err)
 	}
+	s.SetBlockIO(readOnlyNode{BlockIO: osBlockIO{}, dir: "node-00"})
 	var wg sync.WaitGroup
 	errs := make(chan error, 16)
 	for w := 0; w < 8; w++ {

@@ -1,0 +1,195 @@
+package hdfsraid
+
+import (
+	"errors"
+	"io/fs"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrubCursor names the next block replica the trickle scrubber will
+// verify, in scan order (file name, extent, stripe, symbol, replica).
+// The zero value means "start from the first replica of the first
+// file". The cursor persists only in memory: a restarted store rescans
+// from the top, which is safe (scrubbing is idempotent) and simple.
+type scrubCursor struct {
+	name                  string
+	ext, stripe, sym, rep int
+}
+
+// before reports whether replica r scans strictly before the cursor.
+func (c scrubCursor) before(r blockRef) bool {
+	if r.name != c.name {
+		return r.name < c.name
+	}
+	if r.ext != c.ext {
+		return r.ext < c.ext
+	}
+	if r.stripe != c.stripe {
+		return r.stripe < c.stripe
+	}
+	if r.sym != c.sym {
+		return r.sym < c.sym
+	}
+	return r.rep < c.rep
+}
+
+// blockRef is the scan-order coordinate of one physical block replica:
+// rep indexes the symbol's replica list in the code's placement, from
+// which the node (and so the path) follows.
+type blockRef struct {
+	name                  string
+	ext, stripe, sym, rep int
+}
+
+// ScrubReport summarizes one Scrub call.
+type ScrubReport struct {
+	// BlocksScanned and BytesScanned count block frames whose CRC was
+	// verified this call (reconstruction reads during heals bill one
+	// extra frame each to the byte tally).
+	BlocksScanned int
+	BytesScanned  int64
+	// CorruptFound / MissingFound count latent errors discovered:
+	// frames failing their CRC and replica files absent entirely.
+	CorruptFound int
+	MissingFound int
+	// Healed counts discovered errors repaired in place; Unrepairable
+	// counts those healing could not fix this pass (quarantined frames
+	// are restored, so nothing is lost — a later pass retries).
+	Healed       int
+	Unrepairable int
+	// Wrapped reports that the pass covered every block replica in the
+	// store — the cursor made it all the way around.
+	Wrapped bool
+}
+
+// Scrub verifies block-replica CRCs in scan order, resuming from where
+// the previous call stopped and wrapping around, until it has read
+// maxBytes worth of frames (maxBytes <= 0 means one full pass). Every
+// corrupt or missing replica found is healed through the same
+// quarantine + reconstruct + write-back path self-healing reads use.
+// At least one block is always scanned, so any positive trickle budget
+// makes progress.
+//
+// The byte budget is the point: a tier.Daemon grants Scrub the tokens
+// its move bucket has left over each tick, so background verification
+// trickles along at the rebalance rate cap without ever starving
+// moves.
+func (s *Store) Scrub(maxBytes int64) (ScrubReport, error) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var rep ScrubReport
+	// Materialize the scan order. The manifest is small next to the
+	// blocks it describes, so a flat slice beats cursor arithmetic
+	// against five nested dimensions that shift whenever files come
+	// and go between calls.
+	var refs []blockRef
+	for _, name := range s.filesLocked() {
+		fi := s.manifest.Files[name]
+		for ext, e := range fi.Extents {
+			if s.pendingSwapLocked(name, ext) {
+				// A half-swapped extent mixes two layouts on shared
+				// paths; scanning it would quarantine blocks that are
+				// fine. Recovery owns it, not the scrubber.
+				continue
+			}
+			cc, err := s.codecByName(e.Code)
+			if err != nil {
+				return rep, err
+			}
+			p := cc.code.Placement()
+			for i := 0; i < e.Stripes; i++ {
+				for sym := 0; sym < cc.code.Symbols(); sym++ {
+					for r := range p.SymbolNodes[sym] {
+						refs = append(refs, blockRef{name, ext, i, sym, r})
+					}
+				}
+			}
+		}
+	}
+	if len(refs) == 0 {
+		rep.Wrapped = true
+		return rep, nil
+	}
+	// Resume at the first replica not strictly before the cursor; if
+	// the cursor points past everything (files removed), wrap to 0.
+	startIdx := 0
+	for startIdx < len(refs) && s.scrubPos.before(refs[startIdx]) {
+		startIdx++
+	}
+	if startIdx == len(refs) {
+		startIdx = 0
+	}
+
+	frame := s.framePool.Get()
+	defer s.framePool.Put(frame)
+	frameBytes := int64(s.blockSize + 4)
+	i := startIdx
+	for scanned := 0; scanned < len(refs); scanned++ {
+		if maxBytes > 0 && rep.BytesScanned+frameBytes > maxBytes && scanned > 0 {
+			break
+		}
+		ref := refs[i]
+		fi := s.manifest.Files[ref.name]
+		cc, err := s.codecByName(fi.Extents[ref.ext].Code)
+		if err != nil {
+			return rep, err
+		}
+		v := cc.code.Placement().SymbolNodes[ref.sym][ref.rep]
+		_, err = s.readBlockInto(s.extentBlockPath(v, ref.name, fi, ref.ext, ref.stripe, ref.sym), frame)
+		rep.BlocksScanned++
+		rep.BytesScanned += frameBytes
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrCorrupt), errors.Is(err, fs.ErrNotExist):
+			if errors.Is(err, ErrCorrupt) {
+				rep.CorruptFound++
+			} else {
+				rep.MissingFound++
+			}
+			if s.obs != nil {
+				s.obs.scrubFound.Inc()
+			}
+			if healErr := s.healBlock(cc, ref.name, fi, ref.ext, ref.stripe, ref.sym, v, nil); healErr != nil {
+				rep.Unrepairable++
+				if s.obs != nil {
+					s.obs.scrubUnrepairable.Inc()
+					s.obs.heal.Emit(obs.Event{Type: "unrepairable", Name: ref.name, Ext: ref.ext,
+						Detail: healErr.Error()})
+				}
+			} else {
+				rep.Healed++
+				rep.BytesScanned += frameBytes // the reconstruct's reads, roughly
+				if s.obs != nil {
+					s.obs.scrubHealed.Inc()
+				}
+			}
+		default:
+			// Reads already retried transient errors; whatever this is
+			// (permissions, an injected outage outlasting the backoff),
+			// scrubbing through it would misreport the store, so stop
+			// and let the next call retry from the same cursor.
+			s.scrubPos = scrubCursor(ref)
+			return rep, err
+		}
+		if i++; i == len(refs) {
+			i = 0
+		}
+	}
+	rep.Wrapped = rep.BlocksScanned == len(refs)
+	s.scrubPos = scrubCursor(refs[i])
+	if s.obs != nil {
+		s.obs.scrubNs.Observe(time.Since(start).Nanoseconds())
+		s.obs.scrubBytes.Add(rep.BytesScanned)
+		s.obs.scrubBlocks.Add(int64(rep.BlocksScanned))
+	}
+	return rep, nil
+}

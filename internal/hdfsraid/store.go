@@ -79,6 +79,12 @@ type Store struct {
 	code    core.Code
 	striper *core.Striper
 
+	// bio is the block-file I/O seam: every block read, write, rename
+	// and removal goes through it, so fault injection (internal/
+	// faultfs) and future remote backends slot in under the detection
+	// and healing machinery. Default passthrough; see SetBlockIO.
+	bio BlockIO
+
 	// codeName, blockSize and extentBlocks mirror the manifest's
 	// immutable configuration fields. Lock-free paths (streaming
 	// ingest and transcode workers) read these, never the manifest —
@@ -161,6 +167,15 @@ type Store struct {
 	// docs/OBSERVABILITY.md). Nil disables instrumentation; the
 	// overhead benchmark gate uses that to price it.
 	obs *storeObs
+
+	// healSeq numbers quarantine captures and heal write-back temp
+	// files, so concurrent heals of one block never collide on paths.
+	healSeq atomic.Int64
+
+	// scrubMu serializes scrub passes; scrubPos is the cursor the
+	// trickle scrubber resumes from between budgeted calls.
+	scrubMu  sync.Mutex
+	scrubPos scrubCursor
 
 	// killHook simulates a crash at named points for kill-point tests;
 	// nil in production. See (*Store).kill.
@@ -316,7 +331,7 @@ func CreateExt(root, codeName string, blockSize, extentBlocks int) (*Store, erro
 		extentBlocks = 0
 	}
 	s := &Store{
-		root: root, code: c, striper: st,
+		root: root, code: c, striper: st, bio: osBlockIO{},
 		codeName: codeName, blockSize: blockSize, extentBlocks: extentBlocks,
 		framePool:   core.NewBlockPool(blockSize + 4),
 		payloadPool: core.NewBlockPool(blockSize),
@@ -359,7 +374,7 @@ func Open(root string) (*Store, error) {
 	if m.Files == nil {
 		m.Files = map[string]FileInfo{}
 	}
-	s := &Store{root: root, code: c, striper: st, manifest: m,
+	s := &Store{root: root, code: c, striper: st, manifest: m, bio: osBlockIO{},
 		codeName: m.CodeName, blockSize: m.BlockSize, extentBlocks: m.ExtentBlocks,
 		framePool:   core.NewBlockPool(m.BlockSize + 4),
 		payloadPool: core.NewBlockPool(m.BlockSize),
@@ -591,8 +606,9 @@ func (s *Store) saveManifest() error {
 	return syncErr
 }
 
-// writeBlock writes block bytes with a CRC-32C trailer, assembling the
-// on-disk frame in a pooled buffer instead of allocating one per block.
+// writeBlock writes block bytes with a CRC-32C trailer through the
+// BlockIO seam, assembling the on-disk frame in a pooled buffer
+// instead of allocating one per block.
 func (s *Store) writeBlock(path string, data []byte) error {
 	if len(data) != s.blockSize {
 		return fmt.Errorf("hdfsraid: writeBlock got %d bytes, want %d", len(data), s.blockSize)
@@ -601,17 +617,19 @@ func (s *Store) writeBlock(path string, data []byte) error {
 	defer s.framePool.Put(frame)
 	copy(frame, data)
 	binary.LittleEndian.PutUint32(frame[len(data):], block.Checksum(data))
-	return os.WriteFile(path, frame, 0o644)
+	return s.bio.WriteFile(path, frame, 0o644)
 }
 
 // ErrCorrupt reports a checksum mismatch.
 var ErrCorrupt = errors.New("hdfsraid: block checksum mismatch")
 
-// readBlockInto reads and verifies one block file into frame, which
-// must be blockSize+4 bytes (typically from the store's frame pool).
-// The returned payload aliases frame[:blockSize].
-func readBlockInto(path string, frame []byte) ([]byte, error) {
-	f, err := os.Open(path)
+// readBlockFrame reads and verifies one block file into frame through
+// bio; frame must be blockSize+4 bytes (typically from the store's
+// frame pool). The returned payload aliases frame[:blockSize]. Most
+// callers want (*Store).readBlockInto, which adds transient-error
+// retry on top.
+func readBlockFrame(bio BlockIO, path string, frame []byte) ([]byte, error) {
+	f, err := bio.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -751,6 +769,11 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("hdfsraid: no such file %q", name)
 	}
+	for e := range fi.Extents {
+		if s.pendingSwapLocked(name, e) {
+			return nil, fmt.Errorf("hdfsraid: %q extent %d is mid-swap in the journal; run Recover", name, e)
+		}
+	}
 	if !internal {
 		if s.OnRead != nil {
 			s.OnRead(name)
@@ -808,6 +831,12 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 				return s.framePool.Get()
 			}
 			var symbols, used [][]byte
+			// heals collects (symbol, node) pairs whose replica read
+			// failed with a verdict (corrupt or missing frame) this
+			// stripe; once the stripe decodes, each is repaired in
+			// place from the decoded bytes.
+			type healCand struct{ sym, v int }
+			var heals []healCand
 			for j := w; j < len(jobs) && !failed.Load(); j += workers {
 				ext, i := jobs[j].ext, jobs[j].stripe
 				e := fi.Extents[ext]
@@ -821,13 +850,17 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 				}
 				symbols = symbols[:nsym]
 				used = used[:0]
+				heals = heals[:0]
 				for sym := 0; sym < nsym; sym++ {
 					symbols[sym] = nil
 					for _, v := range p.SymbolNodes[sym] {
 						frame := getFrame()
-						data, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
+						data, err := s.readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
 						if err != nil {
 							frames = append(frames, frame)
+							if !transientReadErr(err) {
+								heals = append(heals, healCand{sym, v})
+							}
 							continue
 						}
 						symbols[sym] = data
@@ -843,6 +876,18 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 					errs[w] = fmt.Errorf("hdfsraid: decoding %q extent %d stripe %d: %w", name, ext, i, err)
 					failed.Store(true)
 				} else {
+					for _, h := range heals {
+						// Decoded data blocks heal directly; parity
+						// replicas reconstruct via re-encode inside
+						// healBlock.
+						var content []byte
+						if h.sym < k {
+							content = data[h.sym]
+						}
+						if s.healBlock(cc, name, fi, ext, i, h.sym, h.v, content) == nil && s.obs != nil {
+							s.obs.readHeal.Inc()
+						}
+					}
 					for b := 0; b < k; b++ {
 						g := e.Start + i*k + b // file-global data block
 						if g >= e.Start+e.Blocks {
@@ -1050,7 +1095,7 @@ func (s *Store) repairFile(name string, fi FileInfo, failed []int) (RepairReport
 				}
 				for _, sym := range p.NodeSymbols[v] {
 					frame := s.framePool.Get()
-					data, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
+					data, err := s.readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
 					if err != nil {
 						s.framePool.Put(frame)
 						continue // tolerate extra damage; the plan will fail loudly if fatal
@@ -1127,7 +1172,7 @@ func (s *Store) Fsck() (FsckReport, error) {
 				for sym := 0; sym < cc.code.Symbols(); sym++ {
 					for _, v := range p.SymbolNodes[sym] {
 						rep.Blocks++
-						_, err := readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
+						_, err := s.readBlockInto(s.extentBlockPath(v, name, fi, ext, i, sym), frame)
 						switch {
 						case err == nil:
 						case errors.Is(err, ErrCorrupt):

@@ -2,7 +2,6 @@ package hdfsraid
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -157,7 +156,7 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 	}
 	staged, blocksRead, err := s.transcodeExtentStream(name, fi, ext, oldCC, newCC)
 	if err != nil {
-		removeAll(staged)
+		s.removeStaged(staged)
 		return rep, fmt.Errorf("hdfsraid: transcode %q extent %d: %w", name, ext, err)
 	}
 	rep.DataBlocksRead = blocksRead
@@ -173,7 +172,7 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 	defer s.mu.Unlock()
 	cur, ok := s.manifest.Files[name]
 	if !ok || cur.Length != fi.Length || ext >= len(cur.Extents) || cur.Extents[ext] != e {
-		removeAll(staged)
+		s.removeStaged(staged)
 		return rep, fmt.Errorf("hdfsraid: file %q changed during transcode", name)
 	}
 	// The journal needs registry names (codec cache keys), not the
@@ -190,7 +189,7 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 	for _, path := range staged {
 		rel, err := filepath.Rel(s.root, path)
 		if err != nil {
-			removeAll(staged)
+			s.removeStaged(staged)
 			return rep, err
 		}
 		in.Staged = append(in.Staged, rel)
@@ -198,7 +197,7 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 	s.manifest.Queue = append(s.manifest.Queue, in)
 	if err := s.saveManifest(); err != nil {
 		s.removeIntent(in)
-		removeAll(staged)
+		s.removeStaged(staged)
 		return rep, err
 	}
 	s.journalEvent("staged", in)
@@ -220,6 +219,15 @@ func (s *Store) TranscodeExtent(name string, ext int, codeName string) (Transcod
 		swapStart = time.Now()
 	}
 	swap, err := s.completeSwap(in) // calls kill("midswap") after the first rename
+	// The swap is idempotent, so a transient I/O failure (a flaky
+	// device, an injected fault) gets a bounded in-place retry before
+	// the extent is left to Recover. An abandoned half-swap is safe —
+	// readers refuse IntentSwapping extents — but unreadable until
+	// recovery runs, so cheap retries are worth it.
+	for attempt := 0; err != nil && attempt < blockReadRetries; attempt++ {
+		time.Sleep(blockReadBackoff << attempt)
+		swap, err = s.completeSwap(in)
+	}
 	if err != nil {
 		return rep, err
 	}
@@ -307,7 +315,7 @@ func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, 
 				clear(dst)
 				continue
 			}
-			if _, err := s.readDataBlockInto(dst, oldCC, name, fi, ext, l/kOld, l%kOld); err != nil {
+			if _, err := s.readDataBlockInto(dst, oldCC, name, fi, ext, l/kOld, l%kOld, false); err != nil {
 				return fmt.Errorf("reading data block %d: %w", e.Start+l, err)
 			}
 			read.Add(1)
@@ -362,10 +370,10 @@ func (s *Store) transcodeExtentStream(name string, fi FileInfo, ext int, oldCC, 
 	return staged, int(read.Load()), err
 }
 
-// removeAll best-effort deletes staged temp blocks after a failure.
-func removeAll(staged []string) {
+// removeStaged best-effort deletes staged temp blocks after a failure.
+func (s *Store) removeStaged(staged []string) {
 	for _, p := range staged {
-		os.Remove(p + tmpSuffix)
+		s.bio.Remove(p + tmpSuffix)
 	}
 }
 

@@ -84,6 +84,16 @@ type ExtentMoveCoster interface {
 	ExtentMoveCost(name string, ext int, codeName string) (blocks int, err error)
 }
 
+// Scrubber is implemented by targets that can verify stored block
+// checksums on a byte budget, returning the bytes actually read (a
+// resumable trickle pass — hdfsraid.Store.Scrub is the canonical one).
+// A daemon with a Scrubber runs it at the end of each scan on whatever
+// tokens the move budget left over, so background verification shares
+// the moves' rate cap without ever starving them.
+type Scrubber interface {
+	Scrub(maxBytes int64) (bytesRead int64, err error)
+}
+
 // DaemonConfig parameterizes the background rebalance daemon.
 type DaemonConfig struct {
 	// Interval is the seconds between rebalance scans (> 0).
@@ -110,6 +120,11 @@ type DaemonConfig struct {
 	// disables the horizon check. Only meaningful with BytesPerSec >
 	// 0 (pacing needs a rate).
 	AdmitHorizon float64
+	// ScrubPerScan caps the bytes the daemon's Scrubber may verify per
+	// scan; 0 disables scrubbing. With a rate limit, each scan grants
+	// the scrubber min(ScrubPerScan, tokens left after moves) — moves
+	// always have first claim on the budget.
+	ScrubPerScan float64
 	// Now supplies the clock for Start-driven ticks; defaults to wall
 	// time in seconds. Simulations bypass it by calling Tick directly.
 	Now func() float64
@@ -126,6 +141,9 @@ type DaemonStats struct {
 	Deferred int
 	// BytesMoved is the transcode traffic executed, in bytes.
 	BytesMoved float64
+	// ScrubbedBytes is the block traffic the daemon's Scrubber has
+	// verified from leftover budget, in bytes.
+	ScrubbedBytes float64
 	// Errors counts ticks that failed; the daemon keeps running and
 	// retries on the next scan.
 	Errors int
@@ -160,6 +178,12 @@ type Daemon struct {
 	// to serve one combined snapshot, or at a private registry to keep
 	// namespaces apart. Set it before the first Tick.
 	Obs *obs.Registry
+
+	// Scrub, when non-nil alongside cfg.ScrubPerScan > 0, is run at the
+	// end of every successful scan on the byte budget the moves left
+	// over (StoreTarget implements it over hdfsraid.Store.Scrub). Set
+	// it before Start.
+	Scrub Scrubber
 
 	m      *Manager
 	cfg    DaemonConfig
@@ -323,7 +347,45 @@ func (d *Daemon) Tick(now float64) ([]MoveResult, error) {
 		}
 		done = append(done, res)
 	}
+	d.scrubTick(now)
 	return done, nil
+}
+
+// scrubTick runs the trickle scrubber on whatever byte budget this
+// scan's moves left in the bucket, capped at ScrubPerScan. The grant
+// is withdrawn before scrubbing and the unused part settled back, so
+// scrub traffic and move traffic share one long-run rate cap; when the
+// leftovers cannot cover even one block frame the scrubber simply
+// waits for a quieter scan (moves always have first claim). Caller
+// holds d.mu.
+func (d *Daemon) scrubTick(now float64) {
+	if d.Scrub == nil || d.cfg.ScrubPerScan <= 0 {
+		return
+	}
+	grant := d.cfg.ScrubPerScan
+	if d.bucket != nil {
+		if avail := d.bucket.Available(now); avail < grant {
+			grant = avail
+		}
+		if grant < float64(d.cfg.BlockBytes) {
+			return // not even one frame of leftover budget this scan
+		}
+		d.bucket.Settle(now, grant)
+	}
+	if grant <= 0 {
+		return
+	}
+	used, err := d.Scrub.Scrub(int64(grant))
+	if d.bucket != nil {
+		// Refund the unread remainder (or charge the small overdraft a
+		// heal's reconstruction reads can add).
+		d.bucket.Settle(now, float64(used)-grant)
+	}
+	d.stats.ScrubbedBytes += float64(used)
+	if err != nil {
+		d.stats.Errors++
+		d.lastErr = err
+	}
 }
 
 // priceMove estimates one move's block cost through the target's

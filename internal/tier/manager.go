@@ -131,13 +131,16 @@ func (m *Manager) RestoreLastMoves(moves map[string]float64) {
 
 // SaveLastMoves writes the per-file last-transcode times as JSON to
 // path — the dwell-state counterpart of Tracker.Save for short-lived
-// processes.
+// processes. The save is atomic (tmp + fsync + rename), so a crash
+// mid-save cannot corrupt the dwell history.
 func (m *Manager) SaveLastMoves(path string) error {
+	m.mu.Lock()
 	raw, err := json.MarshalIndent(m.lastMove, "", "  ")
+	m.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, raw, 0o644)
+	return atomicWriteFile(path, raw)
 }
 
 // LoadLastMoves restores per-file last-transcode times saved with
@@ -385,4 +388,19 @@ func (t StoreTarget) MoveCost(name, codeName string) (int, error) {
 // ExtentMoveCost prices one extent's move without performing it.
 func (t StoreTarget) ExtentMoveCost(name string, ext int, codeName string) (int, error) {
 	return t.Store.TranscodeExtentCost(name, ext, codeName)
+}
+
+// Scrub verifies stored block checksums on a byte budget through the
+// store's trickle scrubber (resuming where the last call stopped),
+// satisfying Scrubber so a daemon can spend leftover move budget on
+// background verification. It returns the bytes actually read. Blocks
+// the scrubber found but could not heal come back as an error, so a
+// daemon's error stats (and its exit status) surface unrepairable
+// corruption instead of burying it in a report nobody reads.
+func (t StoreTarget) Scrub(maxBytes int64) (int64, error) {
+	rep, err := t.Store.Scrub(maxBytes)
+	if err == nil && rep.Unrepairable > 0 {
+		err = fmt.Errorf("tier: scrub found %d unrepairable blocks", rep.Unrepairable)
+	}
+	return rep.BytesScanned, err
 }

@@ -16,6 +16,9 @@ const (
 	metricDaemonDeferred   = "daemon_deferred_total"
 	metricDaemonErrors     = "daemon_errors_total"
 	metricDaemonBytesMoved = "daemon_bytes_moved_total"
+	// metricDaemonScrubBytes is the block traffic the daemon's trickle
+	// scrubber has verified from leftover move budget.
+	metricDaemonScrubBytes = "daemon_scrub_bytes_total"
 	// metricDaemonBucketTokens is the token-bucket byte balance after
 	// the latest scan — negative when an oversized move ran into debt.
 	metricDaemonBucketTokens = "daemon_bucket_tokens"
@@ -34,6 +37,7 @@ type daemonObs struct {
 	promotions, demotions *obs.Counter
 	deferred, errs        *obs.Counter
 	bytesMoved            *obs.Counter
+	scrubBytes            *obs.Counter
 	bucketTokens, paceLag *obs.Gauge
 	tickNs                *obs.Histogram
 }
@@ -47,6 +51,7 @@ func newDaemonObs(reg *obs.Registry) *daemonObs {
 		deferred:     reg.Counter(metricDaemonDeferred),
 		errs:         reg.Counter(metricDaemonErrors),
 		bytesMoved:   reg.Counter(metricDaemonBytesMoved),
+		scrubBytes:   reg.Counter(metricDaemonScrubBytes),
 		bucketTokens: reg.Gauge(metricDaemonBucketTokens),
 		paceLag:      reg.Gauge(metricDaemonPaceLag),
 		tickNs:       reg.Histogram(metricDaemonTickNs),
@@ -65,6 +70,7 @@ func (o *daemonObs) observeTick(d *Daemon, before DaemonStats, now float64, elap
 	o.deferred.Add(int64(d.stats.Deferred - before.Deferred))
 	o.errs.Add(int64(d.stats.Errors - before.Errors))
 	o.bytesMoved.Add(int64(d.stats.BytesMoved - before.BytesMoved))
+	o.scrubBytes.Add(int64(d.stats.ScrubbedBytes - before.ScrubbedBytes))
 	o.tickNs.Observe(elapsed.Nanoseconds())
 	if d.bucket != nil {
 		o.bucketTokens.Set(d.bucket.Available(now))

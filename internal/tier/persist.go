@@ -1,0 +1,40 @@
+package tier
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// atomicWriteFile writes data to path through a sibling temp file with
+// an fsync and rename, so a crash mid-save leaves either the previous
+// complete sidecar or the new one — never a truncated half. It is the
+// same discipline the store's manifest saves use; the heat and
+// dwell-state sidecars earn it too, since a corrupt one silently
+// resets tiering history.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tier: committing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

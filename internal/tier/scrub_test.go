@@ -1,0 +1,196 @@
+package tier
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeScrubber records the byte grants the daemon hands it and
+// pretends to read up to perCall bytes of each.
+type fakeScrubber struct {
+	grants  []int64
+	perCall int64
+	err     error
+}
+
+func (f *fakeScrubber) Scrub(maxBytes int64) (int64, error) {
+	f.grants = append(f.grants, maxBytes)
+	used := f.perCall
+	if used > maxBytes {
+		used = maxBytes
+	}
+	return used, f.err
+}
+
+// TestDaemonScrubLeftoverBudget: with no moves pending, scrubbing gets
+// min(ScrubPerScan, bucket balance) per scan, the bytes it reads are
+// debited from the shared bucket, and a drained bucket pauses
+// scrubbing entirely.
+func TestDaemonScrubLeftoverBudget(t *testing.T) {
+	m, err := NewManager(newFakeTarget(1, nil), testPolicy(), NewTracker(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(m, DaemonConfig{
+		Interval: 1, BytesPerSec: 1, Burst: 100, BlockBytes: 1, ScrubPerScan: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &fakeScrubber{perCall: 1 << 30}
+	d.Scrub = sc
+	// Three scans at one instant: the full 100-byte bucket funds grants
+	// of 40, 40, then the 20 remaining; the fourth scan finds less than
+	// one block of budget and skips the scrubber.
+	for i := 0; i < 4; i++ {
+		if _, err := d.Tick(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int64{40, 40, 20}
+	if len(sc.grants) != len(want) {
+		t.Fatalf("scrub grants = %v, want %v", sc.grants, want)
+	}
+	for i, g := range want {
+		if sc.grants[i] != g {
+			t.Fatalf("scrub grants = %v, want %v", sc.grants, want)
+		}
+	}
+	if st := d.Stats(); st.ScrubbedBytes != 100 {
+		t.Fatalf("ScrubbedBytes = %v, want 100", st.ScrubbedBytes)
+	}
+}
+
+// TestDaemonScrubNeverStarvesMoves reuses the one-move-per-tick budget
+// shape: every scan's tokens go to the admitted move, so the scrubber
+// — asking for the same 10 bytes — must never run until the moves are
+// done, and must get the leftovers afterwards.
+func TestDaemonScrubNeverStarvesMoves(t *testing.T) {
+	ft := newFakeTarget(10, map[string]string{
+		"cool": "rs-14-10", "warm": "rs-14-10", "blazing": "rs-14-10",
+	})
+	tr := NewTracker(0)
+	tr.TouchN("cool", 10, 0)
+	tr.TouchN("warm", 20, 0)
+	tr.TouchN("blazing", 30, 0)
+	m, err := NewManager(ft, testPolicy(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(m, DaemonConfig{
+		Interval: 10, BytesPerSec: 1, Burst: 10, BlockBytes: 1, ScrubPerScan: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &fakeScrubber{perCall: 1 << 30}
+	d.Scrub = sc
+	for _, now := range []float64{10, 20, 30} {
+		if _, err := d.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sc.grants) != 0 {
+		t.Fatalf("scrubber ran during move backlog: grants %v", sc.grants)
+	}
+	if st := d.Stats(); st.Moves != 3 {
+		t.Fatalf("moves = %d, want 3", st.Moves)
+	}
+	// Moves done; the next scan's refill belongs to the scrubber.
+	if _, err := d.Tick(40); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.grants) != 1 || sc.grants[0] != 10 {
+		t.Fatalf("post-backlog scrub grants = %v, want [10]", sc.grants)
+	}
+}
+
+// TestDaemonScrubUnlimited: without a rate limit the scrubber gets
+// exactly ScrubPerScan every scan, and its errors land in the daemon's
+// error stats without stopping the loop.
+func TestDaemonScrubUnlimited(t *testing.T) {
+	m, err := NewManager(newFakeTarget(1, nil), testPolicy(), NewTracker(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(m, DaemonConfig{Interval: 1, ScrubPerScan: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &fakeScrubber{perCall: 5, err: fmt.Errorf("latent sector")}
+	d.Scrub = sc
+	for i := 0; i < 3; i++ {
+		if _, err := d.Tick(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sc.grants) != 3 || sc.grants[0] != 25 {
+		t.Fatalf("grants = %v, want three grants of 25", sc.grants)
+	}
+	st := d.Stats()
+	if st.ScrubbedBytes != 15 {
+		t.Fatalf("ScrubbedBytes = %v, want 15", st.ScrubbedBytes)
+	}
+	if st.Errors != 3 || d.Err() == nil {
+		t.Fatalf("errors = %d (lastErr %v), want 3 recorded scrub errors", st.Errors, d.Err())
+	}
+}
+
+// TestSidecarSavesAtomic: heat and dwell sidecar saves must go through
+// tmp+fsync+rename, so stray garbage at the temp path (the residue of
+// a crashed save) neither corrupts the sidecar nor breaks the next
+// save, and loads see only complete states.
+func TestSidecarSavesAtomic(t *testing.T) {
+	dir := t.TempDir()
+
+	heat := filepath.Join(dir, "tier-heat.json")
+	tr := NewTracker(100)
+	tr.TouchN("f", 5, 0)
+	if err := tr.Save(heat); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-save leaves a truncated temp file; the committed
+	// sidecar must be untouched and the next save must still work.
+	if err := os.WriteFile(heat+".tmp", []byte("{\"half_"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTracker(heat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Heat("f", 0) != tr.Heat("f", 0) {
+		t.Fatalf("heat after crash residue = %v, want %v", got.Heat("f", 0), tr.Heat("f", 0))
+	}
+	tr.TouchN("f", 5, 0)
+	if err := tr.Save(heat); err != nil {
+		t.Fatalf("save over crash residue: %v", err)
+	}
+	if got, err = LoadTracker(heat, 100); err != nil || got.Heat("f", 0) != tr.Heat("f", 0) {
+		t.Fatalf("reload after re-save: heat %v err %v", got.Heat("f", 0), err)
+	}
+
+	moves := filepath.Join(dir, "tier-moves.json")
+	m, err := NewManager(newFakeTarget(1, nil), testPolicy(), NewTracker(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RestoreLastMoves(map[string]float64{"f": 42})
+	if err := m.SaveLastMoves(moves); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(moves+".tmp", []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(newFakeTarget(1, nil), testPolicy(), NewTracker(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadLastMoves(moves); err != nil {
+		t.Fatalf("load with crash residue: %v", err)
+	}
+	if err := m2.SaveLastMoves(moves); err != nil {
+		t.Fatalf("save over crash residue: %v", err)
+	}
+}

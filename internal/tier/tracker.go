@@ -217,7 +217,9 @@ type trackerState struct {
 }
 
 // Save writes the tracker state as JSON to path, so one-shot CLI
-// invocations can accumulate heat across runs.
+// invocations can accumulate heat across runs. The save is atomic
+// (tmp + fsync + rename), so a crash mid-save cannot corrupt the
+// accumulated heat.
 func (t *Tracker) Save(path string) error {
 	t.mu.Lock()
 	raw, err := json.MarshalIndent(trackerState{HalfLife: t.halfLife, Files: t.files}, "", "  ")
@@ -225,7 +227,7 @@ func (t *Tracker) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, raw, 0o644)
+	return atomicWriteFile(path, raw)
 }
 
 // LoadTracker restores a tracker from path. A missing file yields a
