@@ -1,0 +1,124 @@
+package hadoopcodes
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestServingBenchRecordFresh keeps BENCH_serving.json honest against
+// cmd/servebench: the committed record must parse into the harness's
+// exact output schema (unknown fields mean the two have diverged), its
+// schema tag must match the one compiled into cmd/servebench, and at
+// least one recorded run must meet the serving bar — >= 1000
+// concurrent clients against >= 4 shards with zero integrity errors
+// and ordered, nonzero tail latencies. CI's docs job runs it, so a
+// schema change or a stale record fails the build instead of rotting.
+func TestServingBenchRecordFresh(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_serving.json")
+	if err != nil {
+		t.Fatalf("BENCH_serving.json missing (run go run ./cmd/servebench): %v", err)
+	}
+	type latSummary struct {
+		Count int64   `json:"count"`
+		Mean  float64 `json:"mean"`
+		P50   int64   `json:"p50"`
+		P99   int64   `json:"p99"`
+		P999  int64   `json:"p999"`
+		Max   int64   `json:"max"`
+	}
+	// Mirror of cmd/servebench's benchFile/benchRun shape.
+	var file struct {
+		Schema string `json:"schema"`
+		Note   string `json:"note,omitempty"`
+		Runs   map[string]struct {
+			Timestamp string `json:"timestamp"`
+			GoVersion string `json:"go_version"`
+			Config    struct {
+				Shards        int     `json:"shards"`
+				Clients       int     `json:"clients"`
+				DurationS     float64 `json:"duration_s"`
+				Files         int     `json:"files"`
+				FileBytes     int     `json:"file_bytes"`
+				BlockSize     int     `json:"block_size"`
+				ExtentBlocks  int     `json:"extent_blocks"`
+				Code          string  `json:"code"`
+				WriteFraction float64 `json:"write_fraction"`
+				RangeFraction float64 `json:"range_fraction"`
+				RangeBytes    int     `json:"range_bytes"`
+				ZipfS         float64 `json:"zipf_s"`
+				Seed          int64   `json:"seed"`
+			} `json:"config"`
+			Results struct {
+				Ops             int64                 `json:"ops"`
+				Gets            int64                 `json:"gets"`
+				RangeGets       int64                 `json:"range_gets"`
+				Puts            int64                 `json:"puts"`
+				Deletes         int64                 `json:"deletes"`
+				Errors          int64                 `json:"errors"`
+				IntegrityErrors int64                 `json:"integrity_errors"`
+				BytesRead       int64                 `json:"bytes_read"`
+				BytesWritten    int64                 `json:"bytes_written"`
+				OpsPerSec       float64               `json:"ops_per_sec"`
+				LatencyNs       map[string]latSummary `json:"latency_ns"`
+			} `json:"results"`
+			Server struct {
+				Counters  map[string]int64      `json:"counters"`
+				LatencyNs map[string]latSummary `json:"latency_ns"`
+			} `json:"server"`
+		} `json:"runs"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		t.Fatalf("BENCH_serving.json does not match cmd/servebench's schema: %v", err)
+	}
+
+	// The schema tag lives in cmd/servebench; extract it from source so
+	// this test cannot drift from what the harness writes.
+	src, err := os.ReadFile("cmd/servebench/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`servingSchema = "([^"]+)"`).FindSubmatch(src)
+	if m == nil {
+		t.Fatal("servingSchema not found in cmd/servebench/main.go")
+	}
+	if file.Schema != string(m[1]) {
+		t.Fatalf("BENCH_serving.json schema %q != harness schema %q; re-run cmd/servebench", file.Schema, m[1])
+	}
+	if len(file.Runs) == 0 {
+		t.Fatal("BENCH_serving.json has no runs; run go run ./cmd/servebench")
+	}
+
+	// At least one run must clear the serving bar the record exists to
+	// document: a thousand concurrent clients over at least four shards,
+	// with every read byte-exact.
+	atScale := false
+	for label, run := range file.Runs {
+		if run.Results.IntegrityErrors != 0 {
+			t.Errorf("run %q recorded %d integrity errors — the record must never hold a lying run",
+				label, run.Results.IntegrityErrors)
+		}
+		if run.Results.Ops <= 0 {
+			t.Errorf("run %q has no operations", label)
+		}
+		get, ok := run.Results.LatencyNs["get"]
+		if !ok || get.Count == 0 {
+			t.Errorf("run %q has no get latency histogram", label)
+			continue
+		}
+		if !(0 < get.P50 && get.P50 <= get.P99 && get.P99 <= get.P999 && get.P999 <= get.Max) {
+			t.Errorf("run %q get quantiles out of order: p50=%d p99=%d p999=%d max=%d",
+				label, get.P50, get.P99, get.P999, get.Max)
+		}
+		if run.Config.Clients >= 1000 && run.Config.Shards >= 4 {
+			atScale = true
+		}
+	}
+	if !atScale {
+		t.Error("no recorded run has >= 1000 clients against >= 4 shards; re-run cmd/servebench at scale")
+	}
+}

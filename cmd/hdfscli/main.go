@@ -21,6 +21,13 @@
 //	hdfscli -store DIR tier set [-ext N] NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
 //	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-scrub MB] [-horizon S] [-duration S] [-metrics ADDR] [rebalance flags]
+//	hdfscli -store DIR serve [-addr HOST:PORT] [-create -shards N -code NAME -blocksize B -extentblocks E] [-tierevery S ...]
+//
+// serve runs the sharded front door: DIR holds N independent shard
+// stores (DIR/shard-00 ...), file names route to shards by consistent
+// hashing, and the files are served over a streaming HTTP API (PUT and
+// ranged GET /files/{name}, /stats, /admin/scrub, /admin/repair).
+// SIGINT/SIGTERM drains in-flight requests before exiting.
 //
 // scrub verifies block checksums (resuming across invocations, at most
 // -budget MB per run; 0 means one full pass) and heals whatever latent
@@ -42,6 +49,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,6 +59,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
 	"time"
 
 	_ "repro/internal/code/heptlocal"
@@ -61,6 +70,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hdfsraid"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/tier"
 )
 
@@ -93,6 +103,8 @@ func main() {
 		err = doStats(*store, args[1:])
 	case "tier":
 		err = doTier(*store, args[1:])
+	case "serve":
+		err = doServe(*store, args[1:])
 	default:
 		usage()
 	}
@@ -103,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]}}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]} | serve [flags]}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
@@ -640,4 +652,83 @@ func doStats(store string, args []string) error {
 	}
 	snap.WriteText(os.Stdout)
 	return nil
+}
+
+// doServe runs the sharded serving front door in the foreground: the
+// store directory holds N independent shard stores, the ring routes
+// each file name to one of them, and internal/serve's handler exposes
+// the streaming HTTP API. SIGINT/SIGTERM stops accepting new requests,
+// drains the in-flight ones, then persists each shard's tier state.
+func doServe(store string, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address (port 0 picks a free port)")
+	create := fs.Bool("create", false, "create the shard stores before serving")
+	shards := fs.Int("shards", 4, "shard count (with -create)")
+	code := fs.String("code", "pentagon", "coding scheme (with -create)")
+	blockSize := fs.Int("blocksize", 1<<20, "block size in bytes (with -create)")
+	extentBlocks := fs.Int("extentblocks", 0, "extent size in data blocks (with -create)")
+	tierEvery := fs.Float64("tierevery", 0, "run a tier daemon per shard, scanning every this many seconds (0 = off)")
+	hot := fs.String("hot", "pentagon", "hot-tier code (with -tierevery)")
+	cold := fs.String("cold", "rs-14-10", "cold-tier code (with -tierevery)")
+	promote := fs.Float64("promote", 5, "promote at this decayed heat (with -tierevery)")
+	demote := fs.Float64("demote", 1, "demote at or below this decayed heat (with -tierevery)")
+	budget := fs.Float64("budget", 0, "per-shard transcode budget, MB/s (with -tierevery; 0 = unlimited)")
+	scrub := fs.Float64("scrub", 0, "per-shard trickle scrub, MB per scan (with -tierevery; 0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *create {
+		if err := serve.CreateShards(store, *code, *blockSize, *extentBlocks, *shards); err != nil {
+			return err
+		}
+		fmt.Printf("created %d %s shards at %s\n", *shards, *code, store)
+	}
+	cfg := serve.Config{}
+	if *tierEvery > 0 {
+		cfg.Tier = &serve.TierConfig{
+			HotCode: *hot, ColdCode: *cold,
+			PromoteAt: *promote, DemoteAt: *demote,
+			Interval:     *tierEvery,
+			BytesPerSec:  *budget * 1e6,
+			ScrubPerScan: *scrub * 1e6,
+		}
+	}
+	srv, err := serve.Open(store, cfg)
+	if err != nil {
+		if _, statErr := os.Stat(filepath.Join(store, "shard-00")); os.IsNotExist(statErr) {
+			return fmt.Errorf("no shards at %s (run 'hdfscli -store %s serve -create' first)", store, store)
+		}
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The signal handler must be live before the readiness line goes
+	// out: a supervisor may TERM us the instant it reads the address.
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	fmt.Printf("serving %d shards on http://%s\n", srv.NumShards(), ln.Addr())
+	select {
+	case err := <-done:
+		srv.Close()
+		return err
+	case sig := <-interrupt:
+		fmt.Printf("%v: draining in-flight requests\n", sig)
+	}
+	// Shutdown closes the listener, waits for active requests to finish,
+	// and only then returns — a drained stop, not a dropped one.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+		srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("drained; server stopped")
+	return srv.Close()
 }

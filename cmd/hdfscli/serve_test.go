@@ -1,0 +1,318 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuf collects child-process output from the pipe-draining
+// goroutine while the test reads it after exit.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// serveProc is a running `hdfscli serve` child process.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port parsed from the startup line
+	out  *syncBuf
+	done chan struct{} // closed once stdout hits EOF (process exiting)
+}
+
+// startServe launches `hdfscli -store STORE serve -addr 127.0.0.1:0
+// extra...` and blocks until the child prints the address it bound.
+func startServe(t *testing.T, bin, store string, extra ...string) *serveProc {
+	t.Helper()
+	args := append([]string{"-store", store, "serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	out := &syncBuf{}
+	cmd.Stderr = out
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(pipe)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(out, line)
+		if i := strings.Index(line, "on http://"); i >= 0 {
+			base = strings.TrimSpace(line[i+len("on "):])
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("serve never reported a bound address:\n%s", out)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			fmt.Fprintln(out, sc.Text())
+		}
+	}()
+	p := &serveProc{cmd: cmd, base: base, out: out, done: done}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	})
+	return p
+}
+
+// waitExit waits for a clean (exit 0) shutdown and returns the full
+// output.
+func (p *serveProc) waitExit(t *testing.T) string {
+	t.Helper()
+	select {
+	case <-p.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not exit within 30s:\n%s", p.out)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("serve exited uncleanly: %v\n%s", err, p.out)
+	}
+	return p.out.String()
+}
+
+// stop SIGTERMs the child and waits for the drained exit.
+func (p *serveProc) stop(t *testing.T) string {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	return p.waitExit(t)
+}
+
+// TestServeCLIRoundTrip drives the serving front door through the real
+// binary: create shards, bind an ephemeral port, put and read back a
+// file (whole and ranged) over HTTP, check /stats reports the traffic,
+// then stop with SIGTERM and expect a drained exit 0.
+func TestServeCLIRoundTrip(t *testing.T) {
+	bin := buildCLI(t)
+	store := filepath.Join(t.TempDir(), "shards")
+	p := startServe(t, bin, store, "-create", "-shards", "3", "-code", "rs-9-6", "-blocksize", "4096")
+
+	data := make([]byte, 50_000)
+	rand.New(rand.NewSource(11)).Read(data)
+	req, err := http.NewRequest(http.MethodPut, p.base+"/files/hello.bin", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status = %d, want 201", resp.StatusCode)
+	}
+
+	resp, err = http.Get(p.base + "/files/hello.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, data) {
+		t.Fatalf("GET status = %d, %d bytes; want 200 with the stored bytes", resp.StatusCode, len(got))
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, p.base+"/files/hello.bin", nil)
+	req.Header.Set("Range", "bytes=1000-1999")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(got, data[1000:2000]) {
+		t.Fatalf("ranged GET status = %d, %d bytes; want 206 with bytes 1000-1999", resp.StatusCode, len(got))
+	}
+
+	resp, err = http.Get(p.base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/stats did not parse: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Counters["store_bytes_in_total"] < int64(len(data)) {
+		t.Errorf("store_bytes_in_total = %d, want >= %d", snap.Counters["store_bytes_in_total"], len(data))
+	}
+
+	out := p.stop(t)
+	for _, want := range []string{"serving 3 shards", "draining in-flight requests", "drained; server stopped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeCLIGracefulDrain sends SIGTERM while a chunked PUT is
+// mid-body: the server must finish that request (201), only then exit,
+// and a fresh serve over the same shards must read the file back
+// byte-exact — the drain persisted everything.
+func TestServeCLIGracefulDrain(t *testing.T) {
+	bin := buildCLI(t)
+	store := filepath.Join(t.TempDir(), "shards")
+	p := startServe(t, bin, store, "-create", "-shards", "2", "-code", "rs-9-6", "-blocksize", "4096")
+
+	data := make([]byte, 40_000)
+	rand.New(rand.NewSource(12)).Read(data)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPut, p.base+"/files/inflight.bin", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		ch <- result{resp, err}
+	}()
+	// First half goes out; io.Pipe blocks until the transport consumed
+	// it, so the request is on the wire before the signal.
+	if _, err := pw.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case <-p.done:
+		t.Fatalf("serve exited with a request still in flight:\n%s", p.out)
+	default:
+	}
+	if _, err := pw.Write(data[len(data)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("in-flight PUT failed during drain: %v", r.err)
+	}
+	io.Copy(io.Discard, r.resp.Body)
+	r.resp.Body.Close()
+	if r.resp.StatusCode != http.StatusCreated {
+		t.Fatalf("in-flight PUT status = %d, want 201", r.resp.StatusCode)
+	}
+	out := p.waitExit(t)
+	if !strings.Contains(out, "drained; server stopped") {
+		t.Errorf("serve output lacks the drained-stop line:\n%s", out)
+	}
+
+	// The drained bytes are durable: a fresh server returns them exactly.
+	p2 := startServe(t, bin, store)
+	resp, err := http.Get(p2.base + "/files/inflight.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, data) {
+		t.Fatalf("after restart: GET status = %d, %d bytes; want 200 with the drained bytes", resp.StatusCode, len(got))
+	}
+	p2.stop(t)
+}
+
+// TestServeMissingShardsDiagnosis: serving a directory with no shards
+// must exit 1 with a single-line diagnosis naming the fix, never a
+// stack trace — the serve twin of TestMissingStoreDiagnosis.
+func TestServeMissingShardsDiagnosis(t *testing.T) {
+	bin := buildCLI(t)
+	missing := filepath.Join(t.TempDir(), "nosuch")
+	cmd := exec.Command(bin, "-store", missing, "serve", "-addr", "127.0.0.1:0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want code 1", err)
+	}
+	msg := stderr.String()
+	if got := strings.Count(msg, "\n"); got != 1 {
+		t.Errorf("stderr is %d lines, want exactly 1:\n%s", got, msg)
+	}
+	if !strings.Contains(msg, "no shards at") || !strings.Contains(msg, "serve -create") {
+		t.Errorf("stderr lacks the missing-shards diagnosis: %q", msg)
+	}
+	for _, bad := range []string{"panic", "goroutine"} {
+		if strings.Contains(msg, bad) {
+			t.Errorf("stderr contains %q:\n%s", bad, msg)
+		}
+	}
+}
+
+// TestServeBadShardDiagnosis: a corrupt shard manifest must produce a
+// nonzero exit and a one-line diagnosis naming the shard, not a panic.
+func TestServeBadShardDiagnosis(t *testing.T) {
+	bin := buildCLI(t)
+	store := filepath.Join(t.TempDir(), "shards")
+	p := startServe(t, bin, store, "-create", "-shards", "2", "-code", "rs-9-6", "-blocksize", "4096")
+	p.stop(t)
+	if err := os.WriteFile(filepath.Join(store, "shard-01", "manifest.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-store", store, "serve", "-addr", "127.0.0.1:0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want code 1", err)
+	}
+	msg := stderr.String()
+	if got := strings.Count(msg, "\n"); got != 1 {
+		t.Errorf("stderr is %d lines, want exactly 1:\n%s", got, msg)
+	}
+	if !strings.Contains(msg, "shard 1") {
+		t.Errorf("stderr does not name the bad shard: %q", msg)
+	}
+	for _, bad := range []string{"panic", "goroutine"} {
+		if strings.Contains(msg, bad) {
+			t.Errorf("stderr contains %q:\n%s", bad, msg)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Command servebench measures the sharded serving front door end to
+// end: it creates N shard stores in a scratch directory, serves them
+// over real loopback HTTP via internal/serve, preloads a working set,
+// then drives thousands of concurrent internal/loadgen clients
+// (Zipf-skewed whole-file reads, ranged reads, and put+delete write
+// pairs, every read verified byte-for-byte) and records client-side
+// p50/p99/p999 tail latency plus the server's merged obs metrics into
+// BENCH_serving.json — the serving counterpart of BENCH_coding.json,
+// and the baseline every later serving-path change is measured
+// against. The command exits nonzero on any data-integrity error.
+//
+// Usage:
+//
+//	servebench [-shards 4] [-clients 1000] [-duration 30s] [-files 64]
+//	           [-filebytes N] [-blocksize N] [-extentblocks E] [-code rs-9-6]
+//	           [-writefrac 0.05] [-rangefrac 0.3] [-zipf 1.2] [-seed 1]
+//	           [-label serving] [-out BENCH_serving.json] [-store DIR]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	_ "repro/internal/code/heptlocal"
+	_ "repro/internal/code/polygon"
+	_ "repro/internal/code/raidm"
+	_ "repro/internal/code/replication"
+	_ "repro/internal/code/rs"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// servingSchema versions BENCH_serving.json; the freshness gate
+// (bench_serving_record_test.go) extracts it from this source, so a
+// schema change without a re-recorded bench fails CI.
+const servingSchema = "serving-bench/v1"
+
+// benchFile is the whole record: one file, many labeled runs.
+type benchFile struct {
+	Schema string              `json:"schema"`
+	Note   string              `json:"note,omitempty"`
+	Runs   map[string]benchRun `json:"runs"`
+}
+
+type benchRun struct {
+	Timestamp string      `json:"timestamp"`
+	GoVersion string      `json:"go_version"`
+	Config    benchConfig `json:"config"`
+	Results   benchResult `json:"results"`
+	Server    serverStats `json:"server"`
+}
+
+type benchConfig struct {
+	Shards        int     `json:"shards"`
+	Clients       int     `json:"clients"`
+	DurationS     float64 `json:"duration_s"`
+	Files         int     `json:"files"`
+	FileBytes     int     `json:"file_bytes"`
+	BlockSize     int     `json:"block_size"`
+	ExtentBlocks  int     `json:"extent_blocks"`
+	Code          string  `json:"code"`
+	WriteFraction float64 `json:"write_fraction"`
+	RangeFraction float64 `json:"range_fraction"`
+	RangeBytes    int     `json:"range_bytes"`
+	ZipfS         float64 `json:"zipf_s"`
+	Seed          int64   `json:"seed"`
+}
+
+type benchResult struct {
+	Ops             int64                 `json:"ops"`
+	Gets            int64                 `json:"gets"`
+	RangeGets       int64                 `json:"range_gets"`
+	Puts            int64                 `json:"puts"`
+	Deletes         int64                 `json:"deletes"`
+	Errors          int64                 `json:"errors"`
+	IntegrityErrors int64                 `json:"integrity_errors"`
+	BytesRead       int64                 `json:"bytes_read"`
+	BytesWritten    int64                 `json:"bytes_written"`
+	OpsPerSec       float64               `json:"ops_per_sec"`
+	LatencyNs       map[string]latSummary `json:"latency_ns"`
+}
+
+// latSummary is one histogram reduced to the tail numbers the record
+// exists for.
+type latSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// serverStats is the server-side view of the same run: selected
+// counters and latency histograms from the merged per-shard
+// registries.
+type serverStats struct {
+	Counters  map[string]int64      `json:"counters"`
+	LatencyNs map[string]latSummary `json:"latency_ns"`
+}
+
+func summarize(h obs.HistogramSnapshot) latSummary {
+	return latSummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max,
+	}
+}
+
+func main() {
+	shards := flag.Int("shards", 4, "shard count")
+	clients := flag.Int("clients", 1000, "concurrent client goroutines")
+	duration := flag.Duration("duration", 30*time.Second, "measured run length")
+	files := flag.Int("files", 64, "working-set size")
+	fileBytes := flag.Int("filebytes", 128<<10, "working-set file size")
+	blockSize := flag.Int("blocksize", 16<<10, "store block size")
+	extentBlocks := flag.Int("extentblocks", 12, "extent size in data blocks")
+	code := flag.String("code", "rs-9-6", "shard coding scheme")
+	writeFrac := flag.Float64("writefrac", 0.05, "fraction of ops that are put+delete pairs")
+	rangeFrac := flag.Float64("rangefrac", 0.3, "fraction of reads that are ranged")
+	rangeBytes := flag.Int("rangebytes", 4<<10, "ranged-read length")
+	zipf := flag.Float64("zipf", 1.2, "Zipf key-choice exponent")
+	seed := flag.Int64("seed", 1, "run seed")
+	label := flag.String("label", "serving", "run label in the record")
+	out := flag.String("out", "BENCH_serving.json", "record path (empty = don't write)")
+	note := flag.String("note", "", "note stored in the record")
+	storeDir := flag.String("store", "", "shard root (empty = temp dir, removed after)")
+	flag.Parse()
+
+	if err := run(*shards, *clients, *duration, *files, *fileBytes, *blockSize,
+		*extentBlocks, *code, *writeFrac, *rangeFrac, *rangeBytes, *zipf, *seed,
+		*label, *out, *note, *storeDir); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shards, clients int, duration time.Duration, files, fileBytes, blockSize,
+	extentBlocks int, code string, writeFrac, rangeFrac float64, rangeBytes int,
+	zipf float64, seed int64, label, out, note, storeDir string) error {
+	root := storeDir
+	if root == "" {
+		var err error
+		if root, err = os.MkdirTemp("", "servebench-*"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(root)
+	}
+	if err := serve.CreateShards(root, code, blockSize, extentBlocks, shards); err != nil {
+		return err
+	}
+	srv, err := serve.Open(root, serve.Config{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("servebench: %d shards (%s, %d B blocks) at %s, %d clients for %s\n",
+		shards, code, blockSize, base, clients, duration)
+
+	cfg := loadgen.Config{
+		BaseURL: base, Clients: clients, Duration: duration,
+		Files: files, FileBytes: fileBytes,
+		WriteFraction: writeFrac, RangeFraction: rangeFrac, RangeBytes: rangeBytes,
+		ZipfS: zipf, Seed: seed,
+	}
+	preStart := time.Now()
+	if err := loadgen.Preload(cfg); err != nil {
+		return fmt.Errorf("preload: %w", err)
+	}
+	fmt.Printf("preloaded %d files x %d B in %s\n", files, fileBytes, time.Since(preStart).Round(time.Millisecond))
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+
+	// Drain before reading stats or removing the scratch dir: ops cut
+	// off at the deadline may leave handlers mid-write.
+	sdCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	httpSrv.Shutdown(sdCtx)
+	cancel()
+
+	snap := srv.Stats()
+	server := serverStats{Counters: map[string]int64{}, LatencyNs: map[string]latSummary{}}
+	for _, c := range []string{"store_bytes_in_total", "store_bytes_out_total",
+		"store_reads_degraded_total", "store_deletes_total"} {
+		server.Counters[c] = snap.Counters[c]
+	}
+	for _, h := range []string{"store_get_intact_ns", "store_get_degraded_ns",
+		"store_readat_ns", "store_put_ns", "store_delete_ns"} {
+		server.LatencyNs[h] = summarize(snap.Histograms[h])
+	}
+
+	if out != "" {
+		rec := benchRun{
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			Config: benchConfig{
+				Shards: shards, Clients: clients, DurationS: duration.Seconds(),
+				Files: files, FileBytes: fileBytes, BlockSize: blockSize,
+				ExtentBlocks: extentBlocks, Code: code,
+				WriteFraction: writeFrac, RangeFraction: rangeFrac,
+				RangeBytes: rangeBytes, ZipfS: zipf, Seed: seed,
+			},
+			Results: benchResult{
+				Ops: res.Ops, Gets: res.Gets, RangeGets: res.RangeGets,
+				Puts: res.Puts, Deletes: res.Deletes,
+				Errors: res.Errors, IntegrityErrors: res.IntegrityErrors,
+				BytesRead: res.BytesRead, BytesWritten: res.BytesWritten,
+				OpsPerSec: float64(res.Ops) / res.Elapsed.Seconds(),
+				LatencyNs: map[string]latSummary{
+					"get":    summarize(res.Lat["get"]),
+					"range":  summarize(res.Lat["range"]),
+					"put":    summarize(res.Lat["put"]),
+					"delete": summarize(res.Lat["delete"]),
+				},
+			},
+			Server: server,
+		}
+		if err := writeRecord(out, label, note, rec); err != nil {
+			return err
+		}
+		fmt.Printf("recorded run %q in %s\n", label, out)
+	}
+	if res.IntegrityErrors > 0 {
+		return fmt.Errorf("%d integrity errors (reads returned wrong bytes)", res.IntegrityErrors)
+	}
+	return nil
+}
+
+// writeRecord folds one run into the record file, preserving other
+// labels already recorded there.
+func writeRecord(path, label, note string, rec benchRun) error {
+	file := benchFile{Schema: servingSchema, Runs: map[string]benchRun{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("existing %s is not a serving bench record: %w", path, err)
+		}
+		if file.Runs == nil {
+			file.Runs = map[string]benchRun{}
+		}
+	}
+	file.Schema = servingSchema
+	if note != "" {
+		file.Note = note
+	}
+	file.Runs[label] = rec
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,43 @@
+package chaos
+
+import "testing"
+
+// TestNetChaosInvariant is the serving stack's CI gate: concurrent
+// HTTP clients put, read (whole and ranged, every success verified
+// byte-for-byte), and delete files across faultfs-injected shard
+// stores behind the serve front door, with brief per-shard node
+// outages mixed in. Operations may fail under injection but a 200/206
+// must never carry wrong bytes; with faults off, recover + scrub per
+// shard leaves fsck clean and every tracked file readable exactly —
+// through the same HTTP API the ops ran on.
+func TestNetChaosInvariant(t *testing.T) {
+	res, err := RunNet(t.TempDir(), NetConfig{Seed: 9})
+	if err != nil {
+		t.Fatalf("invariant broken: %v\nresult: %+v", err, res)
+	}
+	// The run must have exercised the machinery: every fault kind fired
+	// and every op kind ran.
+	if res.Faults.ReadErrs == 0 || res.Faults.BitFlips == 0 || res.Faults.TornWrites == 0 ||
+		res.Faults.DownDenials == 0 || res.Faults.Delays == 0 {
+		t.Fatalf("fault mix incomplete: %+v", res.Faults)
+	}
+	if res.Gets == 0 || res.Ranges == 0 || res.Puts == 0 || res.Deletes == 0 {
+		t.Fatalf("workload incomplete: %+v", res)
+	}
+	if res.Files == 0 {
+		t.Fatal("no files survived to the final verification")
+	}
+	t.Logf("netchaos: %d files, faults %+v, final scrub %+v", res.Files, res.Faults, res.FinalScrub)
+}
+
+// TestNetChaosSecondSeed varies the draw so the gate does not overfit
+// one lucky sequence; kept short since CI runs both under -race.
+func TestNetChaosSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one seed is enough under -short")
+	}
+	res, err := RunNet(t.TempDir(), NetConfig{Seed: 4321, Ops: 240})
+	if err != nil {
+		t.Fatalf("invariant broken: %v\nresult: %+v", err, res)
+	}
+}

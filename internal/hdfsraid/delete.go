@@ -1,0 +1,99 @@
+package hdfsraid
+
+import (
+	"fmt"
+	"time"
+)
+
+// Delete removes a stored file: the manifest entry goes first (one
+// atomic save — the moment it lands the delete is durable), then every
+// block replica is removed best-effort. A replica that cannot be
+// removed (already missing on a degraded file, or a transient I/O
+// fault) is simply left behind: no manifest entry names it, so no read,
+// scrub or repair will ever touch it, and a later ingest of the same
+// name overwrites any path it reuses. The count of replicas actually
+// removed is returned.
+//
+// Delete serializes against a concurrent ingest of the same name (the
+// per-name ingest lock) and against transcodes of any of the file's
+// extents (the per-extent move locks), and refuses a file with a
+// journaled transcode — Recover must settle the journal first, or the
+// replay would re-create blocks for a file that no longer exists. A
+// reader that looked the file up before the delete commits may see its
+// blocks vanish mid-read; such a read fails, it never returns wrong
+// bytes.
+func (s *Store) Delete(name string) (blocksRemoved int, err error) {
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			if err != nil {
+				return
+			}
+			s.obs.deleteNs.Observe(time.Since(start).Nanoseconds())
+			s.obs.deletes.Inc()
+		}()
+	}
+	// Claim the name against concurrent ingest, then every extent's
+	// move lock so no transcode is mid-flight while blocks disappear.
+	// Lock order (ingest key, then extent keys ascending) matches the
+	// ingest and transcode paths, which take at most one of these each.
+	s.lockMove(ingestKey(name))
+	defer s.unlockMove(ingestKey(name))
+
+	s.mu.RLock()
+	fi, ok := s.manifest.Files[name]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("hdfsraid: %w %q", ErrNotFound, name)
+	}
+	for ext := range fi.Extents {
+		s.lockMove(moveKey(name, ext))
+		defer s.unlockMove(moveKey(name, ext))
+	}
+
+	s.mu.Lock()
+	// Re-read under the move locks: a transcode that committed between
+	// the peek above and the locks changed the extent layout (and block
+	// paths) we are about to remove.
+	fi, ok = s.manifest.Files[name]
+	if !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("hdfsraid: %w %q", ErrNotFound, name)
+	}
+	for ext := range fi.Extents {
+		if s.queuedIntent(name, ext) != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("hdfsraid: %q extent %d has a journaled transcode; run Recover before deleting", name, ext)
+		}
+	}
+	ccs, err := s.extentCodecs(fi)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	delete(s.manifest.Files, name)
+	if err := s.saveManifest(); err != nil {
+		// The on-disk manifest still holds the entry; restore memory to
+		// match and report the failure.
+		s.manifest.Files[name] = fi
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.mu.Unlock()
+
+	// Durable: reclaim the blocks. Best-effort by design (see doc
+	// comment); count what actually went away.
+	for ext, e := range fi.Extents {
+		p := ccs[ext].code.Placement()
+		for i := 0; i < e.Stripes; i++ {
+			for sym := 0; sym < ccs[ext].code.Symbols(); sym++ {
+				for _, v := range p.SymbolNodes[sym] {
+					if s.bio.Remove(s.extentBlockPath(v, name, fi, ext, i, sym)) == nil {
+						blocksRemoved++
+					}
+				}
+			}
+		}
+	}
+	return blocksRemoved, nil
+}

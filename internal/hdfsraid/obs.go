@@ -26,6 +26,12 @@ const (
 	metricPutNs   = "store_put_ns"
 	metricBytesIn = "store_bytes_in_total"
 
+	// Ranged reads (ReadAt, the serving front door's HTTP Range path)
+	// and deletes.
+	metricReadAtNs = "store_readat_ns"
+	metricDeleteNs = "store_delete_ns"
+	metricDeletes  = "store_deletes_total"
+
 	// Maintenance: repair and fsck pass durations and what they found.
 	metricRepairNs             = "store_repair_ns"
 	metricRepairBlocksRestored = "store_repair_blocks_restored_total"
@@ -86,11 +92,13 @@ type storeObs struct {
 	getIntact, getDegraded            *obs.Histogram
 	readBlockIntact, readBlockDegr    *obs.Histogram
 	putNs                             *obs.Histogram
+	readAtNs, deleteNs                *obs.Histogram
 	repairNs, fsckNs                  *obs.Histogram
 	tcRead, tcEncode, tcWrite, tcSwap *obs.Histogram
 	scrubNs                           *obs.Histogram
 
 	bytesIn, bytesOut               *obs.Counter
+	deletes                         *obs.Counter
 	readsDegraded                   *obs.Counter
 	repairBlocks, repairTransfers   *obs.Counter
 	fsckMissing, fsckCorrupt        *obs.Counter
@@ -116,6 +124,9 @@ func newStoreObs() *storeObs {
 		readBlockIntact:   reg.Histogram(metricReadBlockIntactNs),
 		readBlockDegr:     reg.Histogram(metricReadBlockDegradedNs),
 		putNs:             reg.Histogram(metricPutNs),
+		readAtNs:          reg.Histogram(metricReadAtNs),
+		deleteNs:          reg.Histogram(metricDeleteNs),
+		deletes:           reg.Counter(metricDeletes),
 		repairNs:          reg.Histogram(metricRepairNs),
 		fsckNs:            reg.Histogram(metricFsckNs),
 		tcRead:            reg.Histogram(metricTcReadNs),

@@ -58,7 +58,7 @@ func (s *Store) ReadBlockInto(dst []byte, name string, stripe, symbol int) (cost
 	}
 	fi, ok := s.manifest.Files[name]
 	if !ok {
-		return 0, fmt.Errorf("hdfsraid: no such file %q", name)
+		return 0, fmt.Errorf("hdfsraid: %w %q", ErrNotFound, name)
 	}
 	if stripe < 0 || stripe >= fi.Stripes {
 		return 0, fmt.Errorf("hdfsraid: stripe %d out of range", stripe)

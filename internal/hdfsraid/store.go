@@ -623,6 +623,16 @@ func (s *Store) writeBlock(path string, data []byte) error {
 // ErrCorrupt reports a checksum mismatch.
 var ErrCorrupt = errors.New("hdfsraid: block checksum mismatch")
 
+// ErrNotFound reports a lookup of a file the manifest does not hold.
+// Callers building remote APIs (internal/serve) map it to a 404; match
+// it with errors.Is.
+var ErrNotFound = errors.New("no such file")
+
+// ErrExists reports an ingest of a name the manifest already holds.
+// The serving front door maps it to a 409 conflict; match it with
+// errors.Is.
+var ErrExists = errors.New("already stored")
+
 // readBlockFrame reads and verifies one block file into frame through
 // bio; frame must be blockSize+4 bytes (typically from the store's
 // frame pool). The returned payload aliases frame[:blockSize]. Most
@@ -689,7 +699,7 @@ func (s *Store) checkNewFile(name string) error {
 		return fmt.Errorf("hdfsraid: invalid file name %q", name)
 	}
 	if _, dup := s.manifest.Files[name]; dup {
-		return fmt.Errorf("hdfsraid: file %q already stored", name)
+		return fmt.Errorf("hdfsraid: file %q %w", name, ErrExists)
 	}
 	return nil
 }
@@ -767,7 +777,7 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 	defer s.mu.RUnlock()
 	fi, ok := s.manifest.Files[name]
 	if !ok {
-		return nil, fmt.Errorf("hdfsraid: no such file %q", name)
+		return nil, fmt.Errorf("hdfsraid: %w %q", ErrNotFound, name)
 	}
 	for e := range fi.Extents {
 		if s.pendingSwapLocked(name, e) {

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+
+	_ "repro/internal/code/rs"
+)
+
+// TestLoadgenAgainstLiveShards runs the generator for real: two shard
+// stores behind the serve handler on loopback, a short burst of
+// concurrent clients mixing whole reads, ranged reads, and write
+// pairs. Every op kind must register, nothing may error on a healthy
+// store, and — the generator's whole purpose — nothing may fail
+// verification. Runs under -race in CI, which also races the client
+// bookkeeping against itself.
+func TestLoadgenAgainstLiveShards(t *testing.T) {
+	root := t.TempDir()
+	if err := serve.CreateShards(root, "rs-9-6", 4096, 6, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.Open(root, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	// Drain, don't just Close: ops cut off at the run deadline may
+	// leave handlers mid-write, and TempDir cleanup races them.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	cfg := Config{
+		BaseURL:       "http://" + ln.Addr().String(),
+		Clients:       16,
+		Duration:      700 * time.Millisecond,
+		Files:         8,
+		FileBytes:     20_000,
+		WriteFraction: 0.2,
+		RangeFraction: 0.3,
+		Seed:          5,
+	}
+	if err := Preload(cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Gets == 0 || res.RangeGets == 0 || res.Puts == 0 || res.Deletes == 0 {
+		t.Fatalf("op mix incomplete: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors against a healthy store", res.Errors)
+	}
+	if res.IntegrityErrors != 0 {
+		t.Fatalf("%d integrity errors: the generator or the store is lying", res.IntegrityErrors)
+	}
+	for _, kind := range []string{"get", "range", "put", "delete"} {
+		h := res.Lat[kind]
+		if h.Count == 0 {
+			t.Errorf("no %s latency observations", kind)
+		}
+		if q := h.Quantile(0.99); q < h.Min || q > h.Max {
+			t.Errorf("%s p99 %d outside [%d, %d]", kind, q, h.Min, h.Max)
+		}
+	}
+	if res.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestContentDeterministic: any client must be able to verify any read
+// from the name alone, so Content must be a pure function of name and
+// size.
+func TestContentDeterministic(t *testing.T) {
+	a := Content("file-003", 5000)
+	b := Content("file-003", 5000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Content is not deterministic for the same name")
+	}
+	if bytes.Equal(a, Content("file-004", 5000)) {
+		t.Fatal("distinct names produced identical content")
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestMultiRegistryMerge is the serving front door's /stats contract:
+// N independent registries (one per shard) merge into one snapshot
+// whose counters and histogram distributions are the exact sums of the
+// parts. Before this test the Merge path was only exercised with a
+// persisted-file round trip of a single registry.
+func TestMultiRegistryMerge(t *testing.T) {
+	regs := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	wantCount := int64(0)
+	wantSum := int64(0)
+	for i, reg := range regs {
+		c := reg.Counter("bytes_total")
+		h := reg.Histogram("lat_ns")
+		// Distinct per-registry loads, including values landing in
+		// different buckets, so a merge that dropped or double-counted
+		// one registry shows up in Count, Sum, or a quantile.
+		for j := 0; j < (i+1)*10; j++ {
+			v := int64((i + 1) * 1000 * (j + 1))
+			c.Add(v)
+			h.Observe(v)
+			wantCount++
+			wantSum += v
+		}
+		// A gauge that only the last registry's value should survive.
+		reg.Gauge("level").Set(float64(i))
+	}
+
+	var merged Snapshot
+	for _, reg := range regs {
+		merged.Merge(reg.Snapshot())
+	}
+
+	if got := merged.Counters["bytes_total"]; got != wantSum {
+		t.Fatalf("merged counter = %d, want %d", got, wantSum)
+	}
+	h := merged.Histograms["lat_ns"]
+	if h.Count != wantCount {
+		t.Fatalf("merged histogram count = %d, want %d", h.Count, wantCount)
+	}
+	if h.Sum != wantSum {
+		t.Fatalf("merged histogram sum = %d, want %d", h.Sum, wantSum)
+	}
+	// Extremes must span every registry: min from registry 0's first
+	// observation, max from registry 2's last.
+	if h.Min != 1000 {
+		t.Fatalf("merged min = %d, want 1000", h.Min)
+	}
+	if want := int64(3 * 1000 * 30); h.Max != want {
+		t.Fatalf("merged max = %d, want %d", h.Max, want)
+	}
+	// Quantiles of the merged distribution stay ordered and inside the
+	// observed range.
+	p50, p99, p999 := h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999)
+	if !(h.Min <= p50 && p50 <= p99 && p99 <= p999 && p999 <= h.Max) {
+		t.Fatalf("merged quantiles out of order: min=%d p50=%d p99=%d p999=%d max=%d", h.Min, p50, p99, p999, h.Max)
+	}
+	// Bucket totals must equal Count — no bucket lost in the merge.
+	var bucketTotal uint64
+	for _, b := range h.Buckets {
+		bucketTotal += b.Count
+	}
+	if int64(bucketTotal) != wantCount {
+		t.Fatalf("merged buckets hold %d observations, want %d", bucketTotal, wantCount)
+	}
+	// Gauges take the most recently merged level.
+	if got := merged.Gauges["level"]; got != 2 {
+		t.Fatalf("merged gauge = %v, want 2", got)
+	}
+
+	// Merging the same shards in a different order yields the same
+	// counters and distribution (gauges differ by design).
+	var reversed Snapshot
+	for i := len(regs) - 1; i >= 0; i-- {
+		reversed.Merge(regs[i].Snapshot())
+	}
+	if reversed.Counters["bytes_total"] != merged.Counters["bytes_total"] ||
+		reversed.Histograms["lat_ns"].Count != merged.Histograms["lat_ns"].Count ||
+		reversed.Histograms["lat_ns"].Sum != merged.Histograms["lat_ns"].Sum {
+		t.Fatal("merge is order-dependent for counters/histograms")
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/hdfsraid"
+)
+
+// Handler returns the serving API:
+//
+//	PUT    /files/{name}            streaming ingest (chunked bodies ok)
+//	GET    /files/{name}            whole file, or one range via Range: bytes=
+//	DELETE /files/{name}            remove the file
+//	GET    /files                   sorted name list (JSON)
+//	GET    /stats                   merged obs snapshot across shards (JSON);
+//	                                ?shard=N for a single shard
+//	POST   /admin/scrub?budget=MB   scrub every shard (JSON report)
+//	POST   /admin/repair?node=N     rebuild node N on every shard (repeatable)
+//	GET    /healthz                 liveness
+//
+// Every data operation resolves the name through the ring and runs
+// entirely inside one shard's store; the handler itself holds no
+// locks, so requests to distinct shards never contend above the disk.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /files/{name}", s.handlePut)
+	mux.HandleFunc("GET /files/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /files/{name}", s.handleDelete)
+	mux.HandleFunc("GET /files", s.handleList)
+	mux.HandleFunc("GET /files/{$}", s.handleList)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /admin/scrub", s.handleScrub)
+	mux.HandleFunc("POST /admin/repair", s.handleRepair)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError maps store sentinels onto status codes; everything else is
+// a 500. The body is the error's one-line rendering.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, hdfsraid.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, hdfsraid.ErrExists):
+		code = http.StatusConflict
+	}
+	http.Error(w, err.Error(), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.Put(name, r.Body); err != nil {
+		httpError(w, err)
+		return
+	}
+	fi, _ := s.Info(name)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{"name": name, "length": fi.Length, "shard": s.ShardOf(name)})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if rng := r.Header.Get("Range"); rng != "" {
+		if off, n, ok := parseRange(rng); ok {
+			s.serveRange(w, name, off, n)
+			return
+		}
+		// Multi-range or malformed: fall through and serve the whole
+		// file, which RFC 9110 permits.
+	}
+	data, err := s.Get(name)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Accept-Ranges", "bytes")
+	w.Write(data)
+}
+
+// serveRange answers one Range request via the shard's ReadAt. n < 0
+// means "through the end"; off < 0 means a suffix range of -off bytes.
+func (s *Server) serveRange(w http.ResponseWriter, name string, off, n int64) {
+	fi, ok := s.Info(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no such file %q", name), http.StatusNotFound)
+		return
+	}
+	length := int64(fi.Length)
+	if off < 0 { // suffix: last -off bytes
+		off = length + off
+		if off < 0 {
+			off = 0
+		}
+		n = length - off
+	}
+	if off >= length {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", length))
+		http.Error(w, "range out of bounds", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	if n < 0 || off+n > length {
+		n = length - off
+	}
+	p := make([]byte, n)
+	got, err := s.ReadAt(p, name, off)
+	if err != nil && got != len(p) {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, length))
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	w.WriteHeader(http.StatusPartialContent)
+	w.Write(p[:got])
+}
+
+// parseRange parses a single-range "bytes=a-b" header into (offset,
+// count): "a-b" → (a, b-a+1), "a-" → (a, -1 = rest), "-k" → (-k, -1 =
+// suffix). ok is false for anything else (no ranges, several ranges,
+// garbage), which callers treat as "serve the whole file".
+func parseRange(h string) (off, n int64, ok bool) {
+	spec, found := strings.CutPrefix(h, "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return 0, 0, false
+	}
+	lo, hi, found := strings.Cut(strings.TrimSpace(spec), "-")
+	if !found {
+		return 0, 0, false
+	}
+	if lo == "" { // suffix range: -k
+		k, err := strconv.ParseInt(hi, 10, 64)
+		if err != nil || k <= 0 {
+			return 0, 0, false
+		}
+		return -k, -1, true
+	}
+	start, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil || start < 0 {
+		return 0, 0, false
+	}
+	if hi == "" { // open-ended: a-
+		return start, -1, true
+	}
+	end, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil || end < start {
+		return 0, 0, false
+	}
+	return start, end - start + 1, true
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	removed, err := s.Delete(name)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"name": name, "blocks_removed": removed})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Files())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query().Get("shard"); q != "" {
+		i, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "bad shard index", http.StatusBadRequest)
+			return
+		}
+		snap, ok := s.ShardStats(i)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no shard %d (have %d)", i, s.NumShards()), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
+		return
+	}
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	var budget int64
+	if q := r.URL.Query().Get("budget"); q != "" {
+		mb, err := strconv.ParseFloat(q, 64)
+		if err != nil || mb < 0 {
+			http.Error(w, "bad scrub budget", http.StatusBadRequest)
+			return
+		}
+		budget = int64(mb * 1e6)
+	}
+	rep, err := s.Scrub(budget)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var nodes []int
+	for _, q := range r.URL.Query()["node"] {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad node %q", q), http.StatusBadRequest)
+			return
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		http.Error(w, "repair needs at least one ?node=N", http.StatusBadRequest)
+		return
+	}
+	rep, err := s.Repair(nodes)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, rep)
+}

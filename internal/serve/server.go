@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/hdfsraid"
+	"repro/internal/obs"
+	"repro/internal/tier"
+)
+
+// shardDirFmt names shard directories under the serving root.
+const shardDirFmt = "shard-%02d"
+
+// TierConfig enables a per-shard background tier daemon: each shard
+// runs its own rebalancer over its own heat tracker, so tiering load
+// scales out with the shards instead of serializing behind one scan.
+type TierConfig struct {
+	HotCode, ColdCode   string
+	PromoteAt, DemoteAt float64
+	MinDwell            float64
+	// Interval is seconds between rebalance scans per shard.
+	Interval float64
+	// BytesPerSec caps each shard daemon's transcode traffic; 0
+	// disables rate limiting.
+	BytesPerSec float64
+	// ScrubPerScan grants each shard's daemon up to this many bytes of
+	// trickle scrubbing per scan; 0 disables.
+	ScrubPerScan float64
+	// HalfLife is the heat decay half-life in seconds; 0 uses a day.
+	HalfLife float64
+}
+
+// Config controls Open.
+type Config struct {
+	// Vnodes is the ring's virtual-node count per shard; 0 uses the
+	// default. Changing it remaps keys, so use one value per cluster.
+	Vnodes int
+	// Tier, when non-nil, starts a tier daemon per shard; Close stops
+	// them and persists their heat.
+	Tier *TierConfig
+}
+
+// shard is one independent store plus its sidecars.
+type shard struct {
+	dir     string
+	store   *hdfsraid.Store
+	tracker *tier.Tracker
+	daemon  *tier.Daemon
+	manager *tier.Manager
+}
+
+// Server routes file operations over N shards. All methods are safe
+// for concurrent use: the ring is immutable and every mutable bit of
+// state lives inside a single shard's store.
+type Server struct {
+	root   string
+	shards []*shard
+	ring   *ring
+}
+
+// CreateShards initializes n shard stores under root (root/shard-00
+// ... shard-NN), each a complete hdfsraid store with the given code,
+// block size and extent size. It refuses a root that already holds
+// shards.
+func CreateShards(root, code string, blockSize, extentBlocks, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("serve: need at least 1 shard, got %d", n)
+	}
+	if dirs, err := shardDirs(root); err == nil && len(dirs) > 0 {
+		return fmt.Errorf("serve: %s already holds %d shards", root, len(dirs))
+	}
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(root, fmt.Sprintf(shardDirFmt, i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		if _, err := hdfsraid.CreateExt(dir, code, blockSize, extentBlocks); err != nil {
+			return fmt.Errorf("serve: creating shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// shardDirs lists root's shard directories in shard order.
+func shardDirs(root string) ([]string, error) {
+	dirs, err := filepath.Glob(filepath.Join(root, "shard-*"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Open opens every shard under root and builds the ring. With
+// cfg.Tier set, each shard's tier daemon starts before Open returns.
+func Open(root string, cfg Config) (*Server, error) {
+	dirs, err := shardDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("serve: no shards at %s (create them first)", root)
+	}
+	srv := &Server{root: root, ring: newRing(len(dirs), cfg.Vnodes)}
+	for i, dir := range dirs {
+		want := filepath.Join(root, fmt.Sprintf(shardDirFmt, i))
+		if dir != want {
+			return nil, fmt.Errorf("serve: shard directories are not contiguous: found %s, want %s", dir, want)
+		}
+		st, err := hdfsraid.Open(dir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening shard %d: %w", i, err)
+		}
+		sh := &shard{dir: dir, store: st}
+		if err := srv.wireTier(sh, cfg.Tier); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("serve: shard %d tier daemon: %w", i, err)
+		}
+		srv.shards = append(srv.shards, sh)
+	}
+	return srv, nil
+}
+
+// heatFile and movesFile are the per-shard tier sidecars, the same
+// names hdfscli uses so a shard store remains driveable by the CLI.
+func heatFile(dir string) string  { return filepath.Join(dir, "tier-heat.json") }
+func movesFile(dir string) string { return filepath.Join(dir, "tier-moves.json") }
+
+// wireTier hooks the shard's heat tracker into its store's read path
+// and starts the shard's daemon when tiering is configured.
+func (s *Server) wireTier(sh *shard, tc *TierConfig) error {
+	halfLife := 24.0 * 3600
+	if tc != nil && tc.HalfLife > 0 {
+		halfLife = tc.HalfLife
+	}
+	tr, err := tier.LoadTracker(heatFile(sh.dir), halfLife)
+	if err != nil {
+		return err
+	}
+	sh.tracker = tr
+	now := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	sh.store.OnReadExtent = func(name string, ext int) { tr.TouchExtent(name, ext, now()) }
+	sh.store.Heat = func(name string) float64 { return tr.Heat(name, now()) }
+	if tc == nil {
+		return nil
+	}
+	m, err := tier.NewManager(tier.StoreTarget{Store: sh.store}, tier.Policy{
+		HotCode: tc.HotCode, ColdCode: tc.ColdCode,
+		PromoteAt: tc.PromoteAt, DemoteAt: tc.DemoteAt, MinDwell: tc.MinDwell,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	if err := m.LoadLastMoves(movesFile(sh.dir)); err != nil {
+		return err
+	}
+	d, err := tier.NewDaemon(m, tier.DaemonConfig{
+		Interval:     tc.Interval,
+		BytesPerSec:  tc.BytesPerSec,
+		BlockBytes:   sh.store.BlockSize(),
+		ScrubPerScan: tc.ScrubPerScan,
+	})
+	if err != nil {
+		return err
+	}
+	if tc.ScrubPerScan > 0 {
+		d.Scrub = tier.StoreTarget{Store: sh.store}
+	}
+	// The shard's daemon metrics land in the shard's own registry, so
+	// the merged /stats snapshot carries every shard's scans and moves.
+	d.Obs = sh.store.Obs()
+	sh.manager = m
+	sh.daemon = d
+	return d.Start()
+}
+
+// Close stops every shard daemon and persists heat and move state.
+// The first error wins; shutdown continues regardless.
+func (s *Server) Close() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	for _, sh := range s.shards {
+		if sh.daemon != nil {
+			sh.daemon.Stop()
+			keep(sh.daemon.Err())
+		}
+		if sh.manager != nil {
+			keep(sh.manager.SaveLastMoves(movesFile(sh.dir)))
+		}
+		if sh.tracker != nil {
+			keep(sh.tracker.Save(heatFile(sh.dir)))
+		}
+	}
+	return first
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning a file name — stable for a
+// given shard count and vnode setting.
+func (s *Server) ShardOf(name string) int { return s.ring.shardOf(name) }
+
+// shardFor resolves a name to its owning shard.
+func (s *Server) shardFor(name string) *shard { return s.shards[s.ring.shardOf(name)] }
+
+// Put streams a file into its owning shard.
+func (s *Server) Put(name string, r io.Reader) error {
+	return s.shardFor(name).store.PutReader(name, r)
+}
+
+// Get reads a whole file from its owning shard.
+func (s *Server) Get(name string) ([]byte, error) {
+	return s.shardFor(name).store.Get(name)
+}
+
+// ReadAt reads a byte range of a file from its owning shard,
+// io.ReaderAt semantics.
+func (s *Server) ReadAt(p []byte, name string, off int64) (int, error) {
+	return s.shardFor(name).store.ReadAt(p, name, off)
+}
+
+// Delete removes a file from its owning shard, returning the block
+// replicas reclaimed.
+func (s *Server) Delete(name string) (int, error) {
+	return s.shardFor(name).store.Delete(name)
+}
+
+// Info returns a file's metadata from its owning shard.
+func (s *Server) Info(name string) (hdfsraid.FileInfo, bool) {
+	return s.shardFor(name).store.Info(name)
+}
+
+// Files lists every stored file across all shards, sorted.
+func (s *Server) Files() []string {
+	var names []string
+	for _, sh := range s.shards {
+		names = append(names, sh.store.Files()...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Shard exposes shard i's store for tests and maintenance tooling.
+func (s *Server) Shard(i int) *hdfsraid.Store { return s.shards[i].store }
+
+// Stats merges every shard's registry into one snapshot: counters and
+// histograms sum across shards, so store_get_* quantiles reflect the
+// whole fleet's reads.
+func (s *Server) Stats() obs.Snapshot {
+	var merged obs.Snapshot
+	for _, sh := range s.shards {
+		if reg := sh.store.Obs(); reg != nil {
+			merged.Merge(reg.Snapshot())
+		}
+	}
+	return merged
+}
+
+// ShardStats returns one shard's snapshot.
+func (s *Server) ShardStats(i int) (obs.Snapshot, bool) {
+	if i < 0 || i >= len(s.shards) {
+		return obs.Snapshot{}, false
+	}
+	if reg := s.shards[i].store.Obs(); reg != nil {
+		return reg.Snapshot(), true
+	}
+	return obs.Snapshot{}, true
+}
+
+// Scrub runs one scrub pass over every shard, aggregating the reports.
+func (s *Server) Scrub(maxBytesPerShard int64) (hdfsraid.ScrubReport, error) {
+	var total hdfsraid.ScrubReport
+	wrapped := true
+	for i, sh := range s.shards {
+		rep, err := sh.store.Scrub(maxBytesPerShard)
+		total.BlocksScanned += rep.BlocksScanned
+		total.BytesScanned += rep.BytesScanned
+		total.CorruptFound += rep.CorruptFound
+		total.MissingFound += rep.MissingFound
+		total.Healed += rep.Healed
+		total.Unrepairable += rep.Unrepairable
+		wrapped = wrapped && rep.Wrapped
+		if err != nil {
+			return total, fmt.Errorf("serve: scrubbing shard %d: %w", i, err)
+		}
+	}
+	total.Wrapped = wrapped
+	return total, nil
+}
+
+// Repair rebuilds the given node indices on every shard.
+func (s *Server) Repair(nodes []int) (hdfsraid.RepairReport, error) {
+	var total hdfsraid.RepairReport
+	for i, sh := range s.shards {
+		rep, err := sh.store.Repair(nodes)
+		total.Stripes += rep.Stripes
+		total.Transfers += rep.Transfers
+		total.BlocksRestored += rep.BlocksRestored
+		if err != nil {
+			return total, fmt.Errorf("serve: repairing shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// Fsck scans every shard's block inventory.
+func (s *Server) Fsck() (hdfsraid.FsckReport, error) {
+	var total hdfsraid.FsckReport
+	for i, sh := range s.shards {
+		rep, err := sh.store.Fsck()
+		total.Blocks += rep.Blocks
+		total.Missing += rep.Missing
+		total.Corrupt += rep.Corrupt
+		if err != nil {
+			return total, fmt.Errorf("serve: fsck shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
