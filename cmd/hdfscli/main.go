@@ -21,13 +21,24 @@
 //	hdfscli -store DIR tier set [-ext N] NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
 //	hdfscli -store DIR tier daemon [-every S] [-budget MBPS] [-scrub MB] [-horizon S] [-duration S] [-metrics ADDR] [rebalance flags]
-//	hdfscli -store DIR serve [-addr HOST:PORT] [-create -shards N -code NAME -blocksize B -extentblocks E] [-tierevery S ...]
+//	hdfscli -store DIR serve [-addr HOST:PORT] [-create -shards N -code NAME -blocksize B -extentblocks E] [-resume-reshard] [-tierevery S ...]
+//	hdfscli -store DIR reshard {-to N | -resume | -status}
 //
 // serve runs the sharded front door: DIR holds N independent shard
 // stores (DIR/shard-00 ...), file names route to shards by consistent
 // hashing, and the files are served over a streaming HTTP API (PUT and
-// ranged GET /files/{name}, /stats, /admin/scrub, /admin/repair).
-// SIGINT/SIGTERM drains in-flight requests before exiting.
+// ranged GET /files/{name}, /stats, /admin/scrub, /admin/repair,
+// /admin/reshard). SIGINT/SIGTERM drains in-flight requests before
+// exiting.
+//
+// reshard changes a serving directory's shard count offline: -to N
+// plans and runs a grow to N shards, journaling per-name progress so a
+// killed run resumes with -resume; -status reports the journal without
+// moving anything. The same mover runs live under serve through
+// POST /admin/reshard. A directory whose journal shows an unfinished
+// reshard refuses a plain serve with a one-line diagnosis; serve
+// -resume-reshard serves it (dual-ring routing keeps every name
+// readable) and finishes the moves in the background.
 //
 // scrub verifies block checksums (resuming across invocations, at most
 // -budget MB per run; 0 means one full pass) and heals whatever latent
@@ -51,6 +62,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -70,6 +82,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hdfsraid"
 	"repro/internal/obs"
+	"repro/internal/reshard"
 	"repro/internal/serve"
 	"repro/internal/tier"
 )
@@ -105,6 +118,8 @@ func main() {
 		err = doTier(*store, args[1:])
 	case "serve":
 		err = doServe(*store, args[1:])
+	case "reshard":
+		err = doReshard(*store, args[1:])
 	default:
 		usage()
 	}
@@ -115,7 +130,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]} | serve [flags]}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]} | serve [flags] | reshard {-to N | -resume | -status}}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
@@ -667,6 +682,7 @@ func doServe(store string, args []string) error {
 	code := fs.String("code", "pentagon", "coding scheme (with -create)")
 	blockSize := fs.Int("blocksize", 1<<20, "block size in bytes (with -create)")
 	extentBlocks := fs.Int("extentblocks", 0, "extent size in data blocks (with -create)")
+	resumeReshard := fs.Bool("resume-reshard", false, "serve a half-resharded directory and finish its reshard in the background")
 	tierEvery := fs.Float64("tierevery", 0, "run a tier daemon per shard, scanning every this many seconds (0 = off)")
 	hot := fs.String("hot", "pentagon", "hot-tier code (with -tierevery)")
 	cold := fs.String("cold", "rs-14-10", "cold-tier code (with -tierevery)")
@@ -683,7 +699,7 @@ func doServe(store string, args []string) error {
 		}
 		fmt.Printf("created %d %s shards at %s\n", *shards, *code, store)
 	}
-	cfg := serve.Config{}
+	cfg := serve.Config{ResumeReshard: *resumeReshard}
 	if *tierEvery > 0 {
 		cfg.Tier = &serve.TierConfig{
 			HotCode: *hot, ColdCode: *cold,
@@ -695,10 +711,27 @@ func doServe(store string, args []string) error {
 	}
 	srv, err := serve.Open(store, cfg)
 	if err != nil {
+		if errors.Is(err, serve.ErrReshardPending) {
+			return fmt.Errorf("%s is mid-reshard (%s); serve it with -resume-reshard, or finish offline with 'hdfscli -store %s reshard -resume'", store, reshardProgress(store), store)
+		}
 		if _, statErr := os.Stat(filepath.Join(store, "shard-00")); os.IsNotExist(statErr) {
 			return fmt.Errorf("no shards at %s (run 'hdfscli -store %s serve -create' first)", store, store)
 		}
 		return err
+	}
+	// Attach the resharder so /admin/reshard works; with -resume-reshard
+	// it also finishes any journaled reshard in the background while the
+	// dual-ring router keeps every name servable.
+	ctl, err := reshard.Attach(store, srv, reshard.Options{})
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	if *resumeReshard {
+		if err := ctl.Resume(); err != nil && !errors.Is(err, reshard.ErrNothingPending) {
+			srv.Close()
+			return err
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -731,4 +764,77 @@ func doServe(store string, args []string) error {
 	}
 	fmt.Println("drained; server stopped")
 	return srv.Close()
+}
+
+// reshardProgress summarizes a serving root's reshard journal for the
+// one-line mid-reshard diagnosis.
+func reshardProgress(store string) string {
+	j, err := reshard.ReadJournal(store)
+	if err != nil || j == nil {
+		return "journal unreadable"
+	}
+	done, skipped, total := j.Progress()
+	return fmt.Sprintf("%d -> %d shards, %d/%d names moved, %d skipped", j.FromShards, j.ToShards, done, total, skipped)
+}
+
+// doReshard changes a serving directory's shard count offline: plan
+// and run with -to N, continue a journaled run with -resume, or report
+// the journal with -status. The directory is opened in resume mode so
+// a half-resharded root is servable here by construction.
+func doReshard(store string, args []string) error {
+	fs := flag.NewFlagSet("reshard", flag.ExitOnError)
+	to := fs.Int("to", 0, "target shard count (must exceed the current count)")
+	resume := fs.Bool("resume", false, "resume the journaled reshard")
+	status := fs.Bool("status", false, "report reshard state without moving anything")
+	throttle := fs.Float64("throttle", 0, "seconds to sleep between names (trickle pacing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := serve.Open(store, serve.Config{ResumeReshard: true})
+	if err != nil {
+		if _, statErr := os.Stat(filepath.Join(store, "shard-00")); os.IsNotExist(statErr) {
+			return fmt.Errorf("no shards at %s (run 'hdfscli -store %s serve -create' first)", store, store)
+		}
+		return err
+	}
+	defer srv.Close()
+	ctl, err := reshard.Attach(store, srv, reshard.Options{
+		Throttle: time.Duration(*throttle * float64(time.Second)),
+	})
+	if err != nil {
+		return err
+	}
+	if *status {
+		st := ctl.Status()
+		if !st.Present {
+			fmt.Printf("no reshard pending: %d shards, single-ring routing\n", srv.NumShards())
+			return nil
+		}
+		fmt.Printf("reshard %d -> %d pending: %d/%d names moved, %d skipped (resume with 'hdfscli -store %s reshard -resume')\n",
+			st.From, st.To, st.Done, st.Total, st.Skipped, store)
+		return nil
+	}
+	switch {
+	case *resume:
+		if err := ctl.Resume(); err != nil {
+			if errors.Is(err, reshard.ErrNothingPending) {
+				fmt.Printf("nothing to resume: no reshard journaled at %s\n", store)
+				return nil
+			}
+			return err
+		}
+	case *to > 0:
+		if err := ctl.Start(*to); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("reshard needs -to N, -resume, or -status")
+	}
+	if err := ctl.Wait(); err != nil {
+		return err
+	}
+	st := ctl.Status()
+	fmt.Printf("reshard complete: %d shards, %d/%d names moved, %d skipped\n",
+		srv.NumShards(), st.Done, st.Total, st.Skipped)
+	return nil
 }

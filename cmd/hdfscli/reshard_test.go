@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// putFile uploads deterministic bytes to a running serve child.
+func putFile(t *testing.T, base, name string, data []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/files/"+name, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT %s: status %d", name, resp.StatusCode)
+	}
+}
+
+// getFile reads a name back from a running serve child.
+func getFile(t *testing.T, base, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/files/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", name, resp.StatusCode)
+	}
+	return data
+}
+
+// TestReshardCLI drives the whole offline flow through the real
+// binary: create and fill 2 shards, `reshard -to 3`, then serve the
+// grown directory and read every byte back. Also pins -status on a
+// healthy root and the shrink refusal.
+func TestReshardCLI(t *testing.T) {
+	bin := buildCLI(t)
+	store := filepath.Join(t.TempDir(), "shards")
+	p := startServe(t, bin, store, "-create", "-shards", "2", "-code", "rs-9-6", "-blocksize", "4096")
+	rng := rand.New(rand.NewSource(21))
+	files := map[string][]byte{}
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("cli-%02d.bin", i)
+		data := make([]byte, 1+rng.Intn(30_000))
+		rng.Read(data)
+		putFile(t, p.base, name, data)
+		files[name] = data
+	}
+	p.stop(t)
+
+	out := run(t, bin, store, "reshard", "-status")
+	if !strings.Contains(out, "no reshard pending") {
+		t.Fatalf("status on healthy root: %q", out)
+	}
+
+	// Shrink refusal exits nonzero with a one-line reason.
+	cmd := exec.Command(bin, "-store", store, "reshard", "-to", "1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatal("reshard -to 1 on 2 shards exited 0")
+	}
+	if !strings.Contains(stderr.String(), "must exceed") {
+		t.Fatalf("shrink stderr: %q", stderr.String())
+	}
+
+	out = run(t, bin, store, "reshard", "-to", "3")
+	if !strings.Contains(out, "reshard complete: 3 shards") {
+		t.Fatalf("reshard output: %q", out)
+	}
+	if _, err := os.Stat(filepath.Join(store, "reshard-journal.json")); !os.IsNotExist(err) {
+		t.Fatalf("journal still present after completed reshard (stat err %v)", err)
+	}
+
+	p2 := startServe(t, bin, store)
+	if !strings.Contains(p2.out.String(), "serving 3 shards") {
+		t.Fatalf("grown store did not serve 3 shards:\n%s", p2.out)
+	}
+	for name, want := range files {
+		if got := getFile(t, p2.base, name); !bytes.Equal(got, want) {
+			t.Fatalf("%s changed across the reshard", name)
+		}
+	}
+	p2.stop(t)
+}
+
+// TestReshardAdminLive grows a serving store through POST
+// /admin/reshard while it serves, polling GET /admin/reshard until the
+// move settles, and verifies the bytes after — the live path of the
+// same mover the CLI drives offline.
+func TestReshardAdminLive(t *testing.T) {
+	bin := buildCLI(t)
+	store := filepath.Join(t.TempDir(), "shards")
+	p := startServe(t, bin, store, "-create", "-shards", "2", "-code", "rs-9-6", "-blocksize", "4096")
+	rng := rand.New(rand.NewSource(22))
+	files := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("live-%02d.bin", i)
+		data := make([]byte, 1+rng.Intn(20_000))
+		rng.Read(data)
+		putFile(t, p.base, name, data)
+		files[name] = data
+	}
+
+	resp, err := http.Post(p.base+"/admin/reshard?to=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /admin/reshard: status %d, want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(p.base + "/admin/reshard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Present bool `json:"present"`
+			Active  bool `json:"active"`
+			Done    int  `json:"done"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !st.Present && !st.Active {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live reshard did not settle: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for name, want := range files {
+		if got := getFile(t, p.base, name); !bytes.Equal(got, want) {
+			t.Fatalf("%s changed across the live reshard", name)
+		}
+	}
+	p.stop(t)
+}
+
+// TestServeReshardPendingDiagnosis: serving a half-resharded directory
+// without -resume-reshard must exit 1 with a single-line diagnosis
+// reporting the journal's progress and naming both fixes — never a
+// stack trace. A `reshard -resume` must then finish the job and make
+// the directory plainly servable again.
+func TestServeReshardPendingDiagnosis(t *testing.T) {
+	bin := buildCLI(t)
+	store := filepath.Join(t.TempDir(), "shards")
+	p := startServe(t, bin, store, "-create", "-shards", "2", "-code", "rs-9-6", "-blocksize", "4096")
+	data := make([]byte, 25_000)
+	rand.New(rand.NewSource(23)).Read(data)
+	putFile(t, p.base, "pending.bin", data)
+	p.stop(t)
+
+	// A journal that died before planning: the pending bit exists, no
+	// names are staged yet.
+	journal := []byte(`{"from_shards":2,"to_shards":3,"planned":false}`)
+	if err := os.WriteFile(filepath.Join(store, "reshard-journal.json"), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-store", store, "serve", "-addr", "127.0.0.1:0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want code 1", err)
+	}
+	msg := stderr.String()
+	if got := strings.Count(msg, "\n"); got != 1 {
+		t.Errorf("stderr is %d lines, want exactly 1:\n%s", got, msg)
+	}
+	for _, want := range []string{"mid-reshard", "2 -> 3 shards", "-resume-reshard", "reshard -resume"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr lacks %q: %q", want, msg)
+		}
+	}
+	for _, bad := range []string{"panic", "goroutine"} {
+		if strings.Contains(msg, bad) {
+			t.Errorf("stderr contains %q:\n%s", bad, msg)
+		}
+	}
+
+	out := run(t, bin, store, "reshard", "-resume")
+	if !strings.Contains(out, "reshard complete: 3 shards") {
+		t.Fatalf("resume output: %q", out)
+	}
+	p2 := startServe(t, bin, store)
+	if got := getFile(t, p2.base, "pending.bin"); !bytes.Equal(got, data) {
+		t.Fatal("pending.bin changed across the resumed reshard")
+	}
+	p2.stop(t)
+}

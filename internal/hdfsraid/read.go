@@ -26,6 +26,15 @@ func (s *Store) ReadBlock(name string, stripe, symbol int) ([]byte, int, error) 
 // BlockSize returns the store's block size.
 func (s *Store) BlockSize() int { return s.blockSize }
 
+// CodeName returns the store's default code name — the code new
+// ingests land on. Immutable after open.
+func (s *Store) CodeName() string { return s.codeName }
+
+// ExtentBlocks returns the ingest extent size in data blocks (0 means
+// whole-file extents). Immutable after open, so a peer store created
+// with the same value ingests byte-identical layouts.
+func (s *Store) ExtentBlocks() int { return s.extentBlocks }
+
 // ReadBlockInto is ReadBlock into a caller-provided buffer of exactly
 // BlockSize bytes — the steady-state read path, which together with the
 // store's frame and payload pools moves block payloads with zero

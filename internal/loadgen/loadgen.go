@@ -104,9 +104,15 @@ type Result struct {
 	// but returned wrong bytes* — the never-lie invariant; must be 0.
 	Errors          int64
 	IntegrityErrors int64
-	BytesRead       int64
-	BytesWritten    int64
-	Elapsed         time.Duration
+	// Retried503 counts requests answered 503 + Retry-After (a name
+	// mid-move in a reshard) that were retried. A 503 that still fails
+	// after the retry budget lands in Errors — an availability miss —
+	// and never in IntegrityErrors: the server said "not now", it
+	// never lied.
+	Retried503   int64
+	BytesRead    int64
+	BytesWritten int64
+	Elapsed      time.Duration
 	// Lat holds client-observed latency per op kind: "get", "range",
 	// "put", "delete".
 	Lat map[string]obs.HistogramSnapshot
@@ -333,7 +339,7 @@ func (w *worker) writePair(ctx context.Context, seq int) {
 	name := fmt.Sprintf("w-%d-%d.tmp", w.id, seq)
 	data := Content(name, w.cfg.WriteBytes)
 	start := time.Now()
-	_, status, err := w.do(ctx, http.MethodPut, name, bytes.NewReader(data), "")
+	_, status, err := w.do(ctx, http.MethodPut, name, func() io.Reader { return bytes.NewReader(data) }, "")
 	if err == errExpired {
 		return
 	}
@@ -364,8 +370,42 @@ func (w *worker) writePair(ctx context.Context, seq int) {
 // burst of phantom failures.
 var errExpired = fmt.Errorf("loadgen: run deadline expired mid-request")
 
-// do issues one request, draining and returning the body.
-func (w *worker) do(ctx context.Context, method, name string, body io.Reader, rangeHdr string) ([]byte, int, error) {
+// do issues one request with bounded retries on 503: during a reshard
+// the front door answers Retry-After for names mid-move, and a client
+// that treats that as a hard failure would turn a planned availability
+// gap into noise. Retries back off (doubling from 25ms) and give up
+// after retry503Budget attempts, returning the final 503 for the
+// caller to count as an ordinary error. mkBody rebuilds the request
+// body per attempt (nil for bodyless requests).
+func (w *worker) do(ctx context.Context, method, name string, mkBody func() io.Reader, rangeHdr string) ([]byte, int, error) {
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		data, status, err := w.do1(ctx, method, name, mkBody, rangeHdr)
+		if err != nil || status != http.StatusServiceUnavailable || attempt >= retry503Budget {
+			return data, status, err
+		}
+		atomic.AddInt64(&w.res.Retried503, 1)
+		select {
+		case <-ctx.Done():
+			return nil, 0, errExpired
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// retry503Budget is how many times a 503 is retried before it counts
+// as a (non-integrity) error.
+const retry503Budget = 6
+
+// do1 issues one request, draining and returning the body.
+func (w *worker) do1(ctx context.Context, method, name string, mkBody func() io.Reader, rangeHdr string) ([]byte, int, error) {
+	var body io.Reader
+	if mkBody != nil {
+		body = mkBody()
+	}
 	req, err := http.NewRequestWithContext(ctx, method, w.cfg.BaseURL+"/files/"+name, body)
 	if err != nil {
 		return nil, 0, err
@@ -394,8 +434,8 @@ func (w *worker) do(ctx context.Context, method, name string, body io.Reader, ra
 // Summary renders the result one line per op kind.
 func (r Result) Summary() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "ops=%d errors=%d integrity_errors=%d elapsed=%s\n",
-		r.Ops, r.Errors, r.IntegrityErrors, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "ops=%d errors=%d integrity_errors=%d retried_503=%d elapsed=%s\n",
+		r.Ops, r.Errors, r.IntegrityErrors, r.Retried503, r.Elapsed.Round(time.Millisecond))
 	for _, kind := range []string{"get", "range", "put", "delete"} {
 		h := r.Lat[kind]
 		if h.Count == 0 {

@@ -5,6 +5,8 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -95,5 +97,90 @@ func TestContentDeterministic(t *testing.T) {
 	}
 	if bytes.Equal(a, Content("file-004", 5000)) {
 		t.Fatal("distinct names produced identical content")
+	}
+}
+
+// TestRetryOn503 pins the reshard contract on the client side: a 503 +
+// Retry-After (a name mid-move) is retried with backoff and must never
+// surface as an error — integrity or otherwise — once the server
+// recovers. The stub front door 503s the first two hits on every GET
+// path, then serves the real bytes.
+func TestRetryOn503(t *testing.T) {
+	cfg := Config{
+		Clients:   4,
+		Duration:  500 * time.Millisecond,
+		Files:     8,
+		FileBytes: 1024,
+		Seed:      3,
+	}
+	var mu sync.Mutex
+	miss := map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /files/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		mu.Lock()
+		miss[name]++
+		n := miss[name]
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "mid-move", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(Content(name, cfg.FileBytes))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	cfg.BaseURL = ts.URL
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retried503 == 0 {
+		t.Fatal("no 503 retries recorded against a 503ing server")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors: retried 503s must not count as failures", res.Errors)
+	}
+	if res.IntegrityErrors != 0 {
+		t.Fatalf("%d integrity errors from the 503 path", res.IntegrityErrors)
+	}
+	if res.Ops == 0 {
+		t.Fatal("vacuous run")
+	}
+}
+
+// TestExhausted503IsErrorNotIntegrity pins the other half: a server
+// that NEVER stops 503ing costs availability (Errors), but must not be
+// recorded as an integrity violation — the server said "not now", it
+// never lied.
+func TestExhausted503IsErrorNotIntegrity(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "mid-move forever", http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	res, err := Run(Config{
+		BaseURL:   ts.URL,
+		Clients:   2,
+		Duration:  2 * time.Second, // each op burns its whole retry budget
+		Files:     2,
+		FileBytes: 512,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("a never-recovering 503 server produced no errors")
+	}
+	if res.IntegrityErrors != 0 {
+		t.Fatalf("%d integrity errors from pure 503s", res.IntegrityErrors)
+	}
+	if res.Retried503 == 0 {
+		t.Fatal("no retries recorded")
 	}
 }

@@ -1,0 +1,590 @@
+package reshard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/hdfsraid"
+	"repro/internal/serve"
+)
+
+// Options bounds the mover's behavior. Zero values take defaults.
+type Options struct {
+	// Retries is the per-name retry budget for transient failures
+	// (injected I/O errors, racing deletes). A name that exhausts it
+	// is parked with its error recorded and retried on the next
+	// resume; the rest of the reshard proceeds. Default 4.
+	Retries int
+	// Backoff is the base delay between a name's retries; it doubles
+	// per attempt up to BackoffMax. Defaults 50ms / 2s.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Throttle sleeps between names so a reshard trickles instead of
+	// saturating the disks under live traffic. Default 0 (no pacing).
+	Throttle time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retries <= 0 {
+		o.Retries = 4
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	return o
+}
+
+// ErrNothingPending reports a Resume with no journaled reshard — the
+// previous one finished (or none was ever started). Resuming a
+// finished reshard is a clean no-op by design: double-resume must
+// never corrupt anything.
+var ErrNothingPending = errors.New("reshard: nothing to resume")
+
+// errKilled marks an abort injected by the test-only kill hook: the
+// run stops with no cleanup, exactly as if the process had died.
+var errKilled = errors.New("reshard: killed")
+
+// errSrcGone and errDstGone classify a verify that found one side of
+// the move missing — racing client deletes, crash residue — so the
+// state machine can settle the name instead of retrying forever.
+var (
+	errSrcGone = errors.New("reshard: source copy gone")
+	errDstGone = errors.New("reshard: destination copy gone")
+)
+
+// Controller owns one serving root's reshard lifecycle: planning,
+// moving, journaling, resuming, and the server's dual-ring routing
+// hand-off. It implements serve.ReshardControl, so /admin/reshard
+// drives it live; hdfscli reshard drives it offline through the same
+// methods.
+type Controller struct {
+	root string
+	srv  *serve.Server
+	opt  Options
+
+	mu      sync.Mutex
+	j       *Journal          // nil when no reshard is pending
+	index   map[string]*Entry // by name; mirrors j.Entries
+	running bool
+	lastErr error
+	done    chan struct{}
+	// final* preserve the last finished reshard's counts after the
+	// journal (and with it Progress) is gone.
+	finalDone, finalSkipped, finalTotal int
+
+	// killHook simulates a crash at named points for kill-point
+	// tests; production controllers have no hook.
+	killHook func(point, name string) error
+}
+
+// Attach builds the controller for a serving root and wires it into
+// the server: if a journaled reshard is pending, Attach immediately
+// grows the shard set and restores dual-ring routing — BEFORE any
+// data moves — so every name is servable the moment traffic starts;
+// the mover itself runs only when Start or Resume says so. Attach
+// also registers the controller for the /admin/reshard endpoints.
+func Attach(root string, srv *serve.Server, opt Options) (*Controller, error) {
+	c := &Controller{root: root, srv: srv, opt: opt.withDefaults()}
+	j, err := ReadJournal(root)
+	if err != nil {
+		return nil, err
+	}
+	if j != nil {
+		if j.Vnodes != srv.Vnodes() {
+			return nil, fmt.Errorf("reshard: journal was written under vnodes=%d but the server uses %d; refusing to move names under a different ring", j.Vnodes, srv.Vnodes())
+		}
+		if j.ToShards <= j.FromShards || j.FromShards <= 0 {
+			return nil, fmt.Errorf("reshard: corrupt journal: %d -> %d shards", j.FromShards, j.ToShards)
+		}
+		c.j = j
+		c.rebuildIndex()
+		if err := srv.Grow(j.ToShards); err != nil {
+			return nil, err
+		}
+		srv.BeginResharding(j.FromShards, c.inFlight)
+		c.setGauges()
+	}
+	srv.SetReshardControl(c)
+	return c, nil
+}
+
+// Start plans and runs a reshard to `to` shards, asynchronously. The
+// journal is written before anything else changes on disk, so a crash
+// at any later point is resumable; the caller polls Status or blocks
+// on Wait.
+func (c *Controller) Start(to int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return errors.New("reshard: already running")
+	}
+	if c.j != nil {
+		return errors.New("reshard: an unfinished reshard is journaled; resume it instead of starting a new one")
+	}
+	from := c.srv.NumShards()
+	if to <= from {
+		return fmt.Errorf("reshard: target %d must exceed the current %d shards (shrinking is not supported)", to, from)
+	}
+	j := &Journal{FromShards: from, ToShards: to, Vnodes: c.srv.Vnodes()}
+	if err := j.save(c.root); err != nil {
+		return err
+	}
+	c.j = j
+	c.index = map[string]*Entry{}
+	c.begin()
+	return nil
+}
+
+// Resume continues a journaled reshard, asynchronously. With nothing
+// journaled it returns ErrNothingPending and changes nothing — the
+// double-resume no-op.
+func (c *Controller) Resume() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return errors.New("reshard: already running")
+	}
+	if c.j == nil {
+		return ErrNothingPending
+	}
+	c.srv.Obs().Counter("reshard_resumes_total").Inc()
+	c.begin()
+	return nil
+}
+
+// begin flips to running and launches the mover. Caller holds mu.
+func (c *Controller) begin() {
+	c.running = true
+	c.lastErr = nil
+	c.done = make(chan struct{})
+	go c.run()
+}
+
+// Wait blocks until the current run ends and returns its error (nil
+// when the reshard completed). With no run in flight it returns the
+// last run's error immediately.
+func (c *Controller) Wait() error {
+	c.mu.Lock()
+	running, ch := c.running, c.done
+	err := c.lastErr
+	c.mu.Unlock()
+	if !running {
+		return err
+	}
+	<-ch
+	c.mu.Lock()
+	err = c.lastErr
+	c.mu.Unlock()
+	return err
+}
+
+// Status reports progress; serve's /admin/reshard serves it.
+func (c *Controller) Status() serve.ReshardStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := serve.ReshardStatus{Epoch: c.srv.ReshardEpoch(), Active: c.running}
+	if c.lastErr != nil {
+		st.Err = c.lastErr.Error()
+	}
+	if c.j == nil {
+		st.Done, st.Skipped, st.Total = c.finalDone, c.finalSkipped, c.finalTotal
+		return st
+	}
+	st.Present = true
+	st.From, st.To = c.j.FromShards, c.j.ToShards
+	st.Done, st.Skipped, st.Total = c.j.Progress()
+	return st
+}
+
+// inFlight reports whether a name is mid-move: planned and not yet
+// settled. The router consults it to answer 503 instead of 404 when
+// both rings miss.
+func (c *Controller) inFlight(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.index[name]
+	return ok && e.State != StateDone
+}
+
+// rebuildIndex refreshes the by-name map. Caller holds mu.
+func (c *Controller) rebuildIndex() {
+	c.index = make(map[string]*Entry, len(c.j.Entries))
+	for _, e := range c.j.Entries {
+		c.index[e.Name] = e
+	}
+}
+
+// setGauges publishes progress into the server registry. Never holds
+// mu-protected state beyond plain reads by the caller.
+func (c *Controller) setGauges() {
+	reg := c.srv.Obs()
+	reg.Gauge("reshard_epoch").Set(float64(c.srv.ReshardEpoch()))
+	if c.j == nil {
+		reg.Gauge("reshard_progress").Set(1)
+		return
+	}
+	done, _, total := c.j.Progress()
+	if total > 0 {
+		reg.Gauge("reshard_progress").Set(float64(done) / float64(total))
+	} else {
+		reg.Gauge("reshard_progress").Set(0)
+	}
+}
+
+// run executes (or resumes) the whole reshard: grow, plan, move every
+// name, settle. It records the terminal error and wakes Wait.
+func (c *Controller) run() {
+	err := c.runMoves()
+	c.mu.Lock()
+	c.lastErr = err
+	c.running = false
+	close(c.done)
+	c.mu.Unlock()
+	c.srv.Obs().Gauge("reshard_active").Set(0)
+}
+
+// runMoves is the mover body. Any error return leaves the journal and
+// the dual-ring routing in place — exactly the state a resume needs.
+func (c *Controller) runMoves() error {
+	c.mu.Lock()
+	j := c.j
+	c.mu.Unlock()
+	reg := c.srv.Obs()
+	reg.Gauge("reshard_active").Set(1)
+
+	// Grow first so the new ring has shards to point at, then switch
+	// to dual-ring routing BEFORE planning: from this moment every
+	// new put lands on its post-reshard home and can never be
+	// stranded by the plan snapshot.
+	if err := c.srv.Grow(j.ToShards); err != nil {
+		return err
+	}
+	c.srv.BeginResharding(j.FromShards, c.inFlight)
+	reg.Gauge("reshard_epoch").Set(float64(c.srv.ReshardEpoch()))
+
+	if !j.Planned {
+		oldR := serve.NewRing(j.FromShards, j.Vnodes)
+		newR := serve.NewRing(j.ToShards, j.Vnodes)
+		var entries []*Entry
+		for _, name := range c.srv.Files() {
+			if f, t := oldR.Shard(name), newR.Shard(name); f != t {
+				entries = append(entries, &Entry{Name: name, From: f, To: t, State: StateStaged})
+			}
+		}
+		c.mu.Lock()
+		j.Entries = entries
+		j.Planned = true
+		c.rebuildIndex()
+		err := j.save(c.root)
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		reg.Counter("reshard_names_planned_total").Add(int64(len(entries)))
+	}
+	if err := c.kill("planned", ""); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	entries := j.Entries
+	c.mu.Unlock()
+	for _, e := range entries {
+		c.mu.Lock()
+		state, parked := e.State, e.Err
+		e.Err = "" // a resume retries parked names
+		c.mu.Unlock()
+		if state == StateDone {
+			continue
+		}
+		_ = parked
+		if err := c.moveOne(e); err != nil {
+			if errors.Is(err, errKilled) {
+				return err
+			}
+			// Parked: recorded on the entry, reported at the end;
+			// the rest of the reshard is not hostage to one name.
+			continue
+		}
+		c.setGauges()
+		if c.opt.Throttle > 0 {
+			time.Sleep(c.opt.Throttle)
+		}
+	}
+
+	c.mu.Lock()
+	done, skipped, total := j.Progress()
+	c.mu.Unlock()
+	if skipped > 0 {
+		return fmt.Errorf("reshard: %d of %d names parked after retries (%d settled); resume to retry them", skipped, total, done)
+	}
+	// Everything settled: drop the journal (the durable "finished"
+	// act), then collapse routing back to one ring.
+	c.mu.Lock()
+	err := j.remove(c.root)
+	if err == nil {
+		c.finalDone, c.finalSkipped, c.finalTotal = done, skipped, total
+		c.j = nil
+		c.index = nil
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.srv.FinishResharding()
+	c.setGauges()
+	return nil
+}
+
+// moveOne drives one name through the state ladder with bounded
+// retries on transient failures. A kill-hook abort propagates
+// immediately; a retry-budget exhaustion parks the name and returns
+// its error.
+func (c *Controller) moveOne(e *Entry) error {
+	src := c.srv.Shard(e.From)
+	dst := c.srv.Shard(e.To)
+	reg := c.srv.Obs()
+	attempt := 0
+	for {
+		err := c.step(e, src, dst)
+		if err == nil {
+			c.mu.Lock()
+			settled := e.State == StateDone
+			c.mu.Unlock()
+			if settled {
+				return nil
+			}
+			continue
+		}
+		if errors.Is(err, errKilled) {
+			return err
+		}
+		attempt++
+		reg.Counter("reshard_retries_total").Inc()
+		if attempt > c.opt.Retries {
+			c.mu.Lock()
+			e.Err = err.Error()
+			saveErr := c.j.save(c.root)
+			c.mu.Unlock()
+			reg.Counter("reshard_names_skipped_total").Inc()
+			if saveErr != nil {
+				return saveErr
+			}
+			return err
+		}
+		backoff := c.opt.Backoff << (attempt - 1)
+		if backoff > c.opt.BackoffMax {
+			backoff = c.opt.BackoffMax
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// step advances a name one journal transition. Every branch is
+// idempotent: re-running a step after a crash or retry converges.
+func (c *Controller) step(e *Entry, src, dst *hdfsraid.Store) error {
+	c.mu.Lock()
+	state := e.State
+	c.mu.Unlock()
+	switch state {
+	case StateStaged:
+		if _, ok := src.Info(e.Name); !ok {
+			// The source no longer holds the name: a client deleted it
+			// (front-door deletes hit both rings mid-reshard) or it
+			// was ingested straight onto the new ring after planning.
+			// Either way there is nothing to move.
+			return c.advance(e, StateDone, "done")
+		}
+		if _, ok := dst.Info(e.Name); ok {
+			// A complete destination copy already exists — our own
+			// ingest from a run that died between the PutReader commit
+			// and the journal write, or fresher client data. Claim
+			// copied; the verify step tells the two apart.
+			return c.advance(e, StateCopied, "copied")
+		}
+		if err := c.copy(e, src, dst); err != nil {
+			return err
+		}
+		if err := c.kill("copy-data", e.Name); err != nil {
+			return err
+		}
+		return c.advance(e, StateCopied, "copied")
+
+	case StateCopied:
+		eq, err := c.compare(e, src, dst)
+		switch {
+		case errors.Is(err, errSrcGone):
+			// A client delete raced the copy; respect it.
+			if _, derr := dst.Delete(e.Name); derr != nil && !errors.Is(derr, hdfsraid.ErrNotFound) {
+				return derr
+			}
+			return c.advance(e, StateDone, "done")
+		case errors.Is(err, errDstGone):
+			// The destination copy vanished (a crashed ingest rolled
+			// back on reopen, or a partial racing delete): one rung
+			// back and re-copy.
+			return c.regress(e)
+		case err != nil:
+			return err
+		case !eq:
+			// The destination holds different bytes: a client deleted
+			// and re-ingested the name mid-reshard. New-ring readers
+			// already see that copy, so it is authoritative; the stale
+			// source copy is dropped by the committed step.
+			return c.advance(e, StateCommitted, "committed")
+		default:
+			return c.advance(e, StateCommitted, "committed")
+		}
+
+	case StateCommitted:
+		// The destination is verified; the source copy is now
+		// redundant. Tolerating "already gone" makes the delete — and
+		// with it every resume through this state — idempotent.
+		if _, err := src.Delete(e.Name); err != nil && !errors.Is(err, hdfsraid.ErrNotFound) {
+			return err
+		}
+		if err := c.kill("deleted", e.Name); err != nil {
+			return err
+		}
+		c.srv.Obs().Counter("reshard_names_moved_total").Inc()
+		return c.advance(e, StateDone, "done")
+	}
+	return nil
+}
+
+// advance journals a state transition durably, then fires the
+// matching kill point so tests can crash exactly between the save and
+// the next step.
+func (c *Controller) advance(e *Entry, to State, point string) error {
+	c.mu.Lock()
+	e.State = to
+	e.Err = ""
+	err := c.j.save(c.root)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.kill(point, e.Name)
+}
+
+// regress journals a step back to staged (destination copy lost).
+func (c *Controller) regress(e *Entry) error {
+	c.mu.Lock()
+	e.State = StateStaged
+	err := c.j.save(c.root)
+	c.mu.Unlock()
+	return err
+}
+
+// copy streams the name from src into dst with the store's own
+// primitives: chunked ReadAt on the source feeding the destination's
+// PutReader, so peak memory is one ingest pipeline regardless of file
+// size, and the destination copy is atomic — fully committed or
+// rolled back, never half.
+func (c *Controller) copy(e *Entry, src, dst *hdfsraid.Store) error {
+	fi, ok := src.Info(e.Name)
+	if !ok {
+		return errSrcGone
+	}
+	r := &storeReader{st: src, name: e.Name, length: int64(fi.Length)}
+	err := dst.PutReader(e.Name, r)
+	if errors.Is(err, hdfsraid.ErrExists) {
+		// Someone (an earlier run of us, or a client) committed the
+		// name first; the verify step decides what it is.
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.srv.Obs().Counter("reshard_bytes_moved_total").Add(int64(fi.Length))
+	return nil
+}
+
+// compareChunk sizes the verify's read buffers.
+const compareChunk = 256 << 10
+
+// compare reads both copies back chunk for chunk and reports whether
+// they are byte-identical. Missing copies map to errSrcGone /
+// errDstGone so the caller can settle races instead of retrying.
+func (c *Controller) compare(e *Entry, src, dst *hdfsraid.Store) (bool, error) {
+	fiS, ok := src.Info(e.Name)
+	if !ok {
+		return false, errSrcGone
+	}
+	fiD, ok := dst.Info(e.Name)
+	if !ok {
+		return false, errDstGone
+	}
+	if fiS.Length != fiD.Length {
+		return false, nil
+	}
+	bufS := make([]byte, compareChunk)
+	bufD := make([]byte, compareChunk)
+	for off := int64(0); off < int64(fiS.Length); off += compareChunk {
+		n := int64(fiS.Length) - off
+		if n > compareChunk {
+			n = compareChunk
+		}
+		if _, err := src.ReadAt(bufS[:n], e.Name, off); err != nil {
+			if errors.Is(err, hdfsraid.ErrNotFound) {
+				return false, errSrcGone
+			}
+			return false, err
+		}
+		if _, err := dst.ReadAt(bufD[:n], e.Name, off); err != nil {
+			if errors.Is(err, hdfsraid.ErrNotFound) {
+				return false, errDstGone
+			}
+			return false, err
+		}
+		if !bytes.Equal(bufS[:n], bufD[:n]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// kill is the crash-injection hook: when the test-only killHook
+// returns an error at a named point, the run aborts with no cleanup,
+// exactly as if the process had died there.
+func (c *Controller) kill(point, name string) error {
+	if c.killHook == nil {
+		return nil
+	}
+	if err := c.killHook(point, name); err != nil {
+		return fmt.Errorf("%w at %s(%s): %v", errKilled, point, name, err)
+	}
+	return nil
+}
+
+// storeReader adapts a stored file to io.Reader via chunked ReadAt,
+// the source half of the cross-shard stream.
+type storeReader struct {
+	st          *hdfsraid.Store
+	name        string
+	off, length int64
+}
+
+// Read fills p from the file's next bytes, EOF at the recorded
+// length.
+func (r *storeReader) Read(p []byte) (int, error) {
+	if r.off >= r.length {
+		return 0, io.EOF
+	}
+	if rest := r.length - r.off; int64(len(p)) > rest {
+		p = p[:rest]
+	}
+	n, err := r.st.ReadAt(p, r.name, r.off)
+	r.off += int64(n)
+	if err == io.EOF && r.off >= r.length {
+		err = nil
+	}
+	return n, err
+}

@@ -1,0 +1,144 @@
+package reshard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// reopenResumed closes the crashed server and reopens the root the way
+// a restarted process would: plain Open must refuse the half-resharded
+// root, resume-mode Open plus Attach must restore dual-ring routing.
+func reopenResumed(t *testing.T, root string, srv *serve.Server) (*serve.Server, *Controller) {
+	t.Helper()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serve.Open(root, serve.Config{}); !errors.Is(err, serve.ErrReshardPending) {
+		t.Fatalf("plain Open of half-resharded root: %v, want ErrReshardPending", err)
+	}
+	srv2, err := serve.Open(root, serve.Config{ResumeReshard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	ctl, err := Attach(root, srv2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv2.Resharding() {
+		t.Fatal("Attach over a pending journal did not restore dual-ring routing")
+	}
+	return srv2, ctl
+}
+
+// TestKillPoints crashes a reshard at every journal transition —
+// after planning, after the data copy, after each journaled state
+// flip — and proves a resume from the surviving journal converges to
+// the same settled end state. The kill hook returns an error exactly
+// once, which aborts the run with no cleanup, the in-process stand-in
+// for SIGKILL.
+func TestKillPoints(t *testing.T) {
+	for _, point := range []string{"planned", "copy-data", "copied", "committed", "deleted", "done"} {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			root, srv, ref := seedRoot(t, 3, 24)
+			if plannedMoves(srv.Vnodes(), 3, 4, ref) == 0 {
+				t.Fatal("no names move 3 -> 4; enlarge the working set")
+			}
+			ctl, err := Attach(root, srv, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			killed := false
+			ctl.killHook = func(p, name string) error {
+				if p == point && !killed {
+					killed = true
+					return fmt.Errorf("kill at %s(%s)", p, name)
+				}
+				return nil
+			}
+			if err := ctl.Start(4); err != nil {
+				t.Fatal(err)
+			}
+			if err := ctl.Wait(); !errors.Is(err, errKilled) {
+				t.Fatalf("killed run returned %v, want errKilled", err)
+			}
+			if !killed {
+				t.Fatalf("kill point %q never fired", point)
+			}
+			// While crashed mid-reshard, the journal is the pending bit.
+			if j, err := ReadJournal(root); err != nil || j == nil {
+				t.Fatalf("no journal after kill at %s (err %v)", point, err)
+			}
+
+			_, ctl2 := reopenResumed(t, root, srv)
+			if err := ctl2.Resume(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ctl2.Wait(); err != nil {
+				t.Fatalf("resume after kill at %s: %v", point, err)
+			}
+			srv2 := ctl2.srv
+			verifySettled(t, root, srv2, ref, 4)
+
+			// Double resume: a second Resume over the finished reshard is
+			// a clean no-op.
+			if err := ctl2.Resume(); !errors.Is(err, ErrNothingPending) {
+				t.Fatalf("double resume: %v, want ErrNothingPending", err)
+			}
+		})
+	}
+}
+
+// TestKillDuringResume crashes the reshard, then crashes the RESUME
+// too, and proves the third run still converges: resumability is not a
+// one-shot property.
+func TestKillDuringResume(t *testing.T) {
+	root, srv, ref := seedRoot(t, 3, 24)
+	ctl, err := Attach(root, srv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	ctl.killHook = func(p, _ string) error {
+		if p == "copied" && !killed {
+			killed = true
+			return errors.New("first kill")
+		}
+		return nil
+	}
+	if err := ctl.Start(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Wait(); !errors.Is(err, errKilled) {
+		t.Fatalf("first run: %v, want errKilled", err)
+	}
+
+	srv2, ctl2 := reopenResumed(t, root, srv)
+	killed = false
+	ctl2.killHook = func(p, _ string) error {
+		if p == "deleted" && !killed {
+			killed = true
+			return errors.New("second kill")
+		}
+		return nil
+	}
+	if err := ctl2.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl2.Wait(); !errors.Is(err, errKilled) {
+		t.Fatalf("killed resume: %v, want errKilled", err)
+	}
+
+	_, ctl3 := reopenResumed(t, root, srv2)
+	if err := ctl3.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	verifySettled(t, root, ctl3.srv, ref, 4)
+}

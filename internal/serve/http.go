@@ -21,11 +21,16 @@ import (
 //	                                ?shard=N for a single shard
 //	POST   /admin/scrub?budget=MB   scrub every shard (JSON report)
 //	POST   /admin/repair?node=N     rebuild node N on every shard (repeatable)
+//	POST   /admin/reshard?to=N      start a live reshard to N shards (202)
+//	POST   /admin/reshard/resume    resume a journaled reshard (202)
+//	GET    /admin/reshard           reshard progress (JSON)
 //	GET    /healthz                 liveness
 //
 // Every data operation resolves the name through the ring and runs
 // entirely inside one shard's store; the handler itself holds no
 // locks, so requests to distinct shards never contend above the disk.
+// During a reshard a name mid-move answers 503 + Retry-After rather
+// than a wrong answer or a 404 (see ErrMidMove).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /files/{name}", s.handlePut)
@@ -36,6 +41,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /admin/scrub", s.handleScrub)
 	mux.HandleFunc("POST /admin/repair", s.handleRepair)
+	mux.HandleFunc("POST /admin/reshard", s.handleReshardStart)
+	mux.HandleFunc("POST /admin/reshard/resume", s.handleReshardResume)
+	mux.HandleFunc("GET /admin/reshard", s.handleReshardStatus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -43,10 +51,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 // httpError maps store sentinels onto status codes; everything else is
-// a 500. The body is the error's one-line rendering.
+// a 500. The body is the error's one-line rendering. A mid-move name
+// (reshard in flight, neither ring's shard holds it yet) is 503 with
+// a Retry-After — a short availability gap, retryable by contract.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, ErrMidMove):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, hdfsraid.ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, hdfsraid.ErrExists):
@@ -211,6 +224,52 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// handleReshardStart begins a live reshard to ?to=N shards. The move
+// runs in the background; the response is the initial status.
+func (s *Server) handleReshardStart(w http.ResponseWriter, r *http.Request) {
+	rc := s.reshardControl()
+	if rc == nil {
+		http.Error(w, "no reshard controller attached to this server", http.StatusNotImplemented)
+		return
+	}
+	to, err := strconv.Atoi(r.URL.Query().Get("to"))
+	if err != nil || to <= 0 {
+		http.Error(w, "reshard needs ?to=N (target shard count)", http.StatusBadRequest)
+		return
+	}
+	if err := rc.Start(to); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, rc.Status())
+}
+
+// handleReshardResume resumes a journaled reshard in the background.
+func (s *Server) handleReshardResume(w http.ResponseWriter, r *http.Request) {
+	rc := s.reshardControl()
+	if rc == nil {
+		http.Error(w, "no reshard controller attached to this server", http.StatusNotImplemented)
+		return
+	}
+	if err := rc.Resume(); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, rc.Status())
+}
+
+// handleReshardStatus reports reshard progress.
+func (s *Server) handleReshardStatus(w http.ResponseWriter, _ *http.Request) {
+	rc := s.reshardControl()
+	if rc == nil {
+		writeJSON(w, ReshardStatus{Epoch: s.ReshardEpoch()})
+		return
+	}
+	writeJSON(w, rc.Status())
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {

@@ -59,6 +59,30 @@ func newRing(n, vnodes int) *ring {
 	return r
 }
 
+// Ring is the exported, immutable view of a consistent-hash ring:
+// just enough surface for the resharder to ring-diff two shard counts
+// without reimplementing (and drifting from) the router's hash. Both
+// sides of a reshard MUST come from NewRing with the same vnodes
+// value, or the "moved names" set is garbage.
+type Ring struct {
+	r *ring
+	n int
+}
+
+// NewRing builds the assignment ring for n shards with vnodes points
+// each (vnodes <= 0 uses the same default the server uses).
+func NewRing(n, vnodes int) Ring {
+	return Ring{r: newRing(n, vnodes), n: n}
+}
+
+// Shards returns the shard count the ring was built for.
+func (g Ring) Shards() int { return g.n }
+
+// Shard returns the shard index owning a file name under this ring —
+// bit-identical to the serving router's assignment at the same shard
+// count and vnode setting.
+func (g Ring) Shard(name string) int { return g.r.shardOf(name) }
+
 // shardOf returns the shard owning a file name: the first ring point
 // at or clockwise of the key's hash, wrapping at the top.
 func (r *ring) shardOf(name string) int {

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/hdfsraid"
@@ -43,6 +45,13 @@ type Config struct {
 	// Tier, when non-nil, starts a tier daemon per shard; Close stops
 	// them and persists their heat.
 	Tier *TierConfig
+	// ResumeReshard permits opening a root whose reshard journal shows
+	// an unfinished shard-count change. The caller MUST then attach a
+	// resharder (internal/reshard.Attach) before serving traffic: it
+	// restores the dual-ring routing that keeps unmoved names
+	// readable. Without this flag such a root fails to open with
+	// ErrReshardPending.
+	ResumeReshard bool
 }
 
 // shard is one independent store plus its sidecars.
@@ -55,12 +64,26 @@ type shard struct {
 }
 
 // Server routes file operations over N shards. All methods are safe
-// for concurrent use: the ring is immutable and every mutable bit of
-// state lives inside a single shard's store.
+// for concurrent use: mutable routing state (the shard list and the
+// rings, which change only during a reshard) sits behind a read-write
+// mutex held just long enough to snapshot, and every other mutable
+// bit lives inside a single shard's store.
 type Server struct {
-	root   string
+	root string
+	cfg  Config
+	// reg holds the front door's own metrics (reshard_* counters and
+	// gauges); Stats merges it with every shard's registry.
+	reg *obs.Registry
+
+	mu     sync.RWMutex
 	shards []*shard
 	ring   *ring
+	// oldRing and inflight are non-nil only while a reshard is in
+	// flight; see reshard.go.
+	oldRing  *ring
+	inflight func(name string) bool
+	epoch    int64
+	rc       ReshardControl
 }
 
 // CreateShards initializes n shard stores under root (root/shard-00
@@ -98,15 +121,36 @@ func shardDirs(root string) ([]string, error) {
 
 // Open opens every shard under root and builds the ring. With
 // cfg.Tier set, each shard's tier daemon starts before Open returns.
+// A root whose reshard journal shows an unfinished shard-count change
+// refuses to open unless cfg.ResumeReshard is set — single-ring
+// routing over a half-resharded directory would 404 every unmoved
+// name.
 func Open(root string, cfg Config) (*Server, error) {
+	pending := pendingReshardJournal(root)
+	if pending && !cfg.ResumeReshard {
+		return nil, fmt.Errorf("serve: %w at %s", ErrReshardPending, root)
+	}
 	dirs, err := shardDirs(root)
 	if err != nil {
 		return nil, err
 	}
+	if pending {
+		// A crash between a grow's MkdirAll and the store create can
+		// leave trailing shard directories with no manifest; the
+		// resharder's Grow will create their stores, so skip them here
+		// rather than failing the whole open.
+		for len(dirs) > 0 {
+			last := dirs[len(dirs)-1]
+			if _, err := os.Stat(filepath.Join(last, "manifest.json")); err == nil {
+				break
+			}
+			dirs = dirs[:len(dirs)-1]
+		}
+	}
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("serve: no shards at %s (create them first)", root)
 	}
-	srv := &Server{root: root, ring: newRing(len(dirs), cfg.Vnodes)}
+	srv := &Server{root: root, cfg: cfg, reg: obs.NewRegistry(), ring: newRing(len(dirs), cfg.Vnodes)}
 	for i, dir := range dirs {
 		want := filepath.Join(root, fmt.Sprintf(shardDirFmt, i))
 		if dir != want {
@@ -179,6 +223,14 @@ func (s *Server) wireTier(sh *shard, tc *TierConfig) error {
 	return d.Start()
 }
 
+// shardList snapshots the shard slice. Shards are only ever appended
+// (Grow), so a snapshot stays valid after the lock is released.
+func (s *Server) shardList() []*shard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards
+}
+
 // Close stops every shard daemon and persists heat and move state.
 // The first error wins; shutdown continues regardless.
 func (s *Server) Close() error {
@@ -188,7 +240,7 @@ func (s *Server) Close() error {
 			first = err
 		}
 	}
-	for _, sh := range s.shards {
+	for _, sh := range s.shardList() {
 		if sh.daemon != nil {
 			sh.daemon.Stop()
 			keep(sh.daemon.Err())
@@ -204,61 +256,130 @@ func (s *Server) Close() error {
 }
 
 // NumShards returns the shard count.
-func (s *Server) NumShards() int { return len(s.shards) }
+func (s *Server) NumShards() int { return len(s.shardList()) }
 
-// ShardOf returns the shard index owning a file name — stable for a
-// given shard count and vnode setting.
-func (s *Server) ShardOf(name string) int { return s.ring.shardOf(name) }
-
-// shardFor resolves a name to its owning shard.
-func (s *Server) shardFor(name string) *shard { return s.shards[s.ring.shardOf(name)] }
-
-// Put streams a file into its owning shard.
-func (s *Server) Put(name string, r io.Reader) error {
-	return s.shardFor(name).store.PutReader(name, r)
+// ShardOf returns the shard index owning a file name under the
+// current primary ring — stable for a given shard count and vnode
+// setting.
+func (s *Server) ShardOf(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.shardOf(name)
 }
 
-// Get reads a whole file from its owning shard.
+// Put streams a file into its owning shard. During a reshard new data
+// always lands on the new ring — its post-reshard home — so nothing
+// ingested mid-reshard ever needs a second move.
+func (s *Server) Put(name string, r io.Reader) error {
+	return s.routeFor(name).cur.store.PutReader(name, r)
+}
+
+// Get reads a whole file from its owning shard. During a reshard a
+// miss on the new ring falls back to the name's old-ring shard: a
+// name is always wholly readable on at least one of the two.
 func (s *Server) Get(name string) ([]byte, error) {
-	return s.shardFor(name).store.Get(name)
+	rt := s.routeFor(name)
+	data, err := rt.cur.store.Get(name)
+	if err == nil || rt.old == nil || !errors.Is(err, hdfsraid.ErrNotFound) {
+		return data, err
+	}
+	data, err2 := rt.old.store.Get(name)
+	if err2 == nil {
+		s.reg.Counter("reshard_fallback_reads_total").Inc()
+		return data, nil
+	}
+	if errors.Is(err2, hdfsraid.ErrNotFound) {
+		return nil, s.fallbackErr(name, rt, err2)
+	}
+	return nil, err2
 }
 
 // ReadAt reads a byte range of a file from its owning shard,
-// io.ReaderAt semantics.
+// io.ReaderAt semantics, with the same old-ring fallback as Get.
 func (s *Server) ReadAt(p []byte, name string, off int64) (int, error) {
-	return s.shardFor(name).store.ReadAt(p, name, off)
+	rt := s.routeFor(name)
+	n, err := rt.cur.store.ReadAt(p, name, off)
+	if err == nil || rt.old == nil || !errors.Is(err, hdfsraid.ErrNotFound) {
+		return n, err
+	}
+	n, err2 := rt.old.store.ReadAt(p, name, off)
+	if err2 == nil || !errors.Is(err2, hdfsraid.ErrNotFound) {
+		if err2 == nil {
+			s.reg.Counter("reshard_fallback_reads_total").Inc()
+		}
+		return n, err2
+	}
+	return n, s.fallbackErr(name, rt, err2)
 }
 
-// Delete removes a file from its owning shard, returning the block
-// replicas reclaimed.
+// Delete removes a file, returning the block replicas reclaimed.
+// During a reshard the delete runs against BOTH rings' shards: a
+// mid-move name may exist on either (or briefly both), and removing
+// only one copy would let the resharder resurrect the other.
 func (s *Server) Delete(name string) (int, error) {
-	return s.shardFor(name).store.Delete(name)
+	rt := s.routeFor(name)
+	n1, err1 := rt.cur.store.Delete(name)
+	if rt.old == nil {
+		return n1, err1
+	}
+	n2, err2 := rt.old.store.Delete(name)
+	if err1 == nil || err2 == nil {
+		return n1 + n2, nil
+	}
+	if errors.Is(err1, hdfsraid.ErrNotFound) && errors.Is(err2, hdfsraid.ErrNotFound) {
+		return 0, s.fallbackErr(name, rt, err1)
+	}
+	if !errors.Is(err1, hdfsraid.ErrNotFound) {
+		return n1 + n2, err1
+	}
+	return n1 + n2, err2
 }
 
-// Info returns a file's metadata from its owning shard.
+// Info returns a file's metadata from its owning shard, consulting
+// the old-ring shard during a reshard.
 func (s *Server) Info(name string) (hdfsraid.FileInfo, bool) {
-	return s.shardFor(name).store.Info(name)
+	rt := s.routeFor(name)
+	fi, ok := rt.cur.store.Info(name)
+	if ok || rt.old == nil {
+		return fi, ok
+	}
+	return rt.old.store.Info(name)
 }
 
-// Files lists every stored file across all shards, sorted.
+// Files lists every stored file across all shards, sorted and
+// deduplicated — a mid-move name exists on two shards but is one
+// file.
 func (s *Server) Files() []string {
 	var names []string
-	for _, sh := range s.shards {
+	for _, sh := range s.shardList() {
 		names = append(names, sh.store.Files()...)
 	}
 	sort.Strings(names)
-	return names
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || names[i-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
-// Shard exposes shard i's store for tests and maintenance tooling.
-func (s *Server) Shard(i int) *hdfsraid.Store { return s.shards[i].store }
+// Shard exposes shard i's store for tests, maintenance tooling and
+// the resharder.
+func (s *Server) Shard(i int) *hdfsraid.Store { return s.shardList()[i].store }
 
-// Stats merges every shard's registry into one snapshot: counters and
-// histograms sum across shards, so store_get_* quantiles reflect the
-// whole fleet's reads.
+// Obs returns the server's own metrics registry — the home of the
+// reshard_* counters and gauges, merged into Stats alongside the
+// per-shard registries.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Stats merges the server registry and every shard's registry into
+// one snapshot: counters and histograms sum across shards, so
+// store_get_* quantiles reflect the whole fleet's reads and the
+// reshard_* series ride along.
 func (s *Server) Stats() obs.Snapshot {
-	var merged obs.Snapshot
-	for _, sh := range s.shards {
+	merged := s.reg.Snapshot()
+	for _, sh := range s.shardList() {
 		if reg := sh.store.Obs(); reg != nil {
 			merged.Merge(reg.Snapshot())
 		}
@@ -268,10 +389,11 @@ func (s *Server) Stats() obs.Snapshot {
 
 // ShardStats returns one shard's snapshot.
 func (s *Server) ShardStats(i int) (obs.Snapshot, bool) {
-	if i < 0 || i >= len(s.shards) {
+	shards := s.shardList()
+	if i < 0 || i >= len(shards) {
 		return obs.Snapshot{}, false
 	}
-	if reg := s.shards[i].store.Obs(); reg != nil {
+	if reg := shards[i].store.Obs(); reg != nil {
 		return reg.Snapshot(), true
 	}
 	return obs.Snapshot{}, true
@@ -281,7 +403,7 @@ func (s *Server) ShardStats(i int) (obs.Snapshot, bool) {
 func (s *Server) Scrub(maxBytesPerShard int64) (hdfsraid.ScrubReport, error) {
 	var total hdfsraid.ScrubReport
 	wrapped := true
-	for i, sh := range s.shards {
+	for i, sh := range s.shardList() {
 		rep, err := sh.store.Scrub(maxBytesPerShard)
 		total.BlocksScanned += rep.BlocksScanned
 		total.BytesScanned += rep.BytesScanned
@@ -301,7 +423,7 @@ func (s *Server) Scrub(maxBytesPerShard int64) (hdfsraid.ScrubReport, error) {
 // Repair rebuilds the given node indices on every shard.
 func (s *Server) Repair(nodes []int) (hdfsraid.RepairReport, error) {
 	var total hdfsraid.RepairReport
-	for i, sh := range s.shards {
+	for i, sh := range s.shardList() {
 		rep, err := sh.store.Repair(nodes)
 		total.Stripes += rep.Stripes
 		total.Transfers += rep.Transfers
@@ -316,7 +438,7 @@ func (s *Server) Repair(nodes []int) (hdfsraid.RepairReport, error) {
 // Fsck scans every shard's block inventory.
 func (s *Server) Fsck() (hdfsraid.FsckReport, error) {
 	var total hdfsraid.FsckReport
-	for i, sh := range s.shards {
+	for i, sh := range s.shardList() {
 		rep, err := sh.store.Fsck()
 		total.Blocks += rep.Blocks
 		total.Missing += rep.Missing
