@@ -64,12 +64,21 @@ func main() {
 	label := flag.String("label", "after", "label for this run in the output file")
 	out := flag.String("out", "BENCH_coding.json", "output JSON file (merged if it exists)")
 	pkgs := flag.String("pkgs", strings.Join(defaultPkgs, ","), "comma-separated packages to benchmark")
+	goarch := flag.String("goarch", "", "GOARCH to build the benchmarks for (cross-runs need -exec)")
+	execWith := flag.String("exec", "", "run benchmark binaries through this program (go test -exec), e.g. qemu-aarch64-static for arm64 under emulation")
 	flag.Parse()
 
 	results := map[string]Result{}
 	for _, pkg := range strings.Split(*pkgs, ",") {
-		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime, pkg}
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+		if *execWith != "" {
+			args = append(args, "-exec", *execWith)
+		}
+		args = append(args, pkg)
 		cmd := exec.Command("go", args...)
+		if *goarch != "" {
+			cmd.Env = append(os.Environ(), "GOARCH="+*goarch)
+		}
 		cmd.Stderr = os.Stderr
 		raw, err := cmd.Output()
 		fmt.Print(string(raw))

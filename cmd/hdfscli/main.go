@@ -1,10 +1,11 @@
 // Command hdfscli drives the on-disk miniature HDFS-RAID store: create
 // a store for any registered code (optionally with extent-granular
-// tiering), put/get files (put streams; get feeds per-extent heat
-// counters persisted beside the manifest), kill nodes, repair them
+// tiering), put/get files (put streams; get appends per-extent heat
+// records to the store's shared access log), kill nodes, repair them
 // with the code's partial-parity plans (hottest files first, fed by
-// the persisted heat), fsck the block inventory, and tier extents
-// between hot and cold codes by decayed access heat.
+// the persisted heat), fsck the block inventory, calibrate per-code
+// worker pools with tune, and tier extents between hot and cold codes
+// by decayed access heat.
 //
 // Usage:
 //
@@ -17,6 +18,7 @@
 //	hdfscli -store DIR fsck
 //	hdfscli -store DIR scrub [-budget MB]
 //	hdfscli -store DIR stats [-json]
+//	hdfscli -store DIR tune [-mb N] [-rounds N] [-all]
 //	hdfscli -store DIR tier status
 //	hdfscli -store DIR tier set [-ext N] NAME CODE
 //	hdfscli -store DIR tier rebalance [-hot CODE] [-cold CODE] [-promote H] [-demote H] [-dwell S] [-workers N]
@@ -70,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"syscall"
 	"time"
@@ -85,6 +88,8 @@ import (
 	"repro/internal/reshard"
 	"repro/internal/serve"
 	"repro/internal/tier"
+	"repro/internal/tier/accesslog"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -116,6 +121,8 @@ func main() {
 		err = doStats(*store, args[1:])
 	case "tier":
 		err = doTier(*store, args[1:])
+	case "tune":
+		err = doTune(*store, args[1:])
 	case "serve":
 		err = doServe(*store, args[1:])
 	case "reshard":
@@ -130,14 +137,26 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]} | serve [flags] | reshard {-to N | -resume | -status}}")
+	fmt.Fprintln(os.Stderr, "usage: hdfscli -store DIR {create -code NAME [-blocksize N] | put FILE | get NAME OUT | ls | kill NODE... | repair NODE... | fsck | scrub [-budget MB] | stats [-json] | tune [-mb N] [-rounds N] [-all] | tier {status | set NAME CODE | rebalance [flags] | daemon [flags]} | serve [flags] | reshard {-to N | -resume | -status}}")
 	fmt.Fprintln(os.Stderr, "codes:", core.Names())
 	os.Exit(2)
 }
 
-// heatPath is where the decayed access counters persist, beside the
-// manifest.
-func heatPath(store string) string { return filepath.Join(store, "tier-heat.json") }
+// openHeat opens the store's heat state: the tier-heat.json snapshot
+// plus the heatlog/ shared access log beside the manifest. Reads
+// append O(1) records to the log (batched fsync); concurrent CLIs,
+// daemons and servers on one store each open their own HeatLog and
+// tail each other's appends.
+func openHeat(store string, s *hdfsraid.Store) (*tier.HeatLog, error) {
+	hl, err := tier.OpenHeatLog(store, defaultHalfLife, accesslog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if s != nil {
+		hl.Obs = s.Obs()
+	}
+	return hl, nil
+}
 
 // movesPath is where per-file last-move times persist, so the
 // rebalance -dwell guard holds across one-shot invocations.
@@ -241,21 +260,25 @@ func doGet(store string, args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	hl, err := openHeat(store, s)
 	if err != nil {
 		return err
 	}
 	// Heat accrues per extent: a whole-file get touches every extent,
-	// so the rebalance daemon sees which regions are actually hot.
-	s.OnReadExtent = func(name string, ext int) { tr.TouchExtent(name, ext, nowSeconds()) }
+	// so the rebalance daemon sees which regions are actually hot. Each
+	// touch appends one O(1) record to the shared access log; Close
+	// flushes the batch — no whole-tracker rewrite.
+	s.OnReadExtent = func(name string, ext int) { hl.TouchExtent(name, ext, nowSeconds()) }
 	data, err := s.Get(args[0])
 	if err != nil {
+		hl.Close()
 		return err
 	}
 	if err := os.WriteFile(args[1], data, 0o644); err != nil {
+		hl.Close()
 		return err
 	}
-	if err := tr.Save(heatPath(store)); err != nil {
+	if err := hl.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("read %s: %d bytes -> %s\n", args[0], len(data), args[1])
@@ -299,12 +322,15 @@ func doNodes(store string, args []string, op string) error {
 		fmt.Printf("killed nodes %v\n", nodes)
 		return nil
 	}
-	// Repair hot files first: the persisted heat counters give the
-	// store the same ordering signal the rebalance daemon uses.
-	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	// Repair hot files first: the persisted heat (snapshot + access
+	// log) gives the store the same ordering signal the rebalance
+	// daemon uses.
+	hl, err := openHeat(store, s)
 	if err != nil {
 		return err
 	}
+	defer hl.Close()
+	tr := hl.Tracker()
 	now := nowSeconds()
 	s.Heat = func(name string) float64 { return tr.Heat(name, now) }
 	rep, err := s.Repair(nodes)
@@ -340,10 +366,12 @@ func doTierStatus(store string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	hl, err := openHeat(store, s)
 	if err != nil {
 		return err
 	}
+	defer hl.Close()
+	tr := hl.Tracker()
 	now := nowSeconds()
 	fmt.Printf("%-30s %-16s %9s %8s\n", "FILE", "CODE", "OVERHEAD", "HEAT")
 	for _, name := range s.Files() {
@@ -411,7 +439,7 @@ func doTierRebalance(store string, args []string) error {
 	promote := fs.Float64("promote", 5, "promote at this decayed heat")
 	demote := fs.Float64("demote", 1, "demote at or below this decayed heat")
 	dwell := fs.Float64("dwell", 0, "min seconds between moves of one file")
-	workers := fs.Int("workers", 1, "concurrent transcodes (moves of distinct files)")
+	workers := fs.Int("workers", 0, "concurrent transcodes (0 = the store's calibrated move fan-out, or 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -419,18 +447,19 @@ func doTierRebalance(store string, args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	hl, err := openHeat(store, s)
 	if err != nil {
 		return err
 	}
+	defer hl.Close()
 	m, err := tier.NewManager(tier.StoreTarget{Store: s}, tier.Policy{
 		HotCode: *hot, ColdCode: *cold,
 		PromoteAt: *promote, DemoteAt: *demote, MinDwell: *dwell,
-	}, tr)
+	}, hl.Tracker())
 	if err != nil {
 		return err
 	}
-	m.MoveWorkers = *workers
+	m.MoveWorkers = moveWorkers(*workers, s)
 	if err := m.LoadLastMoves(movesPath(store)); err != nil {
 		return err
 	}
@@ -449,6 +478,19 @@ func doTierRebalance(store string, args []string) error {
 		printMove(mv)
 	}
 	return flushObs(store, s)
+}
+
+// moveWorkers resolves a -workers flag: an explicit value wins, 0
+// falls back to the store's calibrated move fan-out (tune.json, see
+// `hdfscli tune`), then to 1.
+func moveWorkers(flagValue int, s *hdfsraid.Store) int {
+	if flagValue > 0 {
+		return flagValue
+	}
+	if mw := s.MoveWorkers(); mw > 0 {
+		return mw
+	}
+	return 1
 }
 
 // printMove reports one executed tiering move, extent-qualified when
@@ -491,17 +533,18 @@ func doTierDaemon(store string, args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := tier.LoadTracker(heatPath(store), defaultHalfLife)
+	hl, err := openHeat(store, s)
 	if err != nil {
 		return err
 	}
 	m, err := tier.NewManager(tier.StoreTarget{Store: s}, tier.Policy{
 		HotCode: *hot, ColdCode: *cold,
 		PromoteAt: *promote, DemoteAt: *demote, MinDwell: *dwell,
-	}, tr)
+	}, hl.Tracker())
 	if err != nil {
 		return err
 	}
+	m.MoveWorkers = moveWorkers(0, s)
 	if err := m.LoadLastMoves(movesPath(store)); err != nil {
 		return err
 	}
@@ -518,11 +561,16 @@ func doTierDaemon(store string, args []string) error {
 	if *scrub > 0 {
 		d.Scrub = tier.StoreTarget{Store: s}
 	}
-	// Concurrent hdfscli gets append heat to the persisted tracker;
-	// pick those accesses up before every scan.
+	// Concurrent hdfscli gets and per-shard servers append heat to the
+	// shared access log; tail their records before every scan — O(new
+	// records) instead of the old whole-heat-file reload — and fold
+	// sealed segments into the snapshot now and then so the log and
+	// replay-at-open stay short.
+	var ticks int
 	d.OnTick = func(float64) {
-		if fresh, err := tier.LoadTracker(heatPath(store), defaultHalfLife); err == nil {
-			m.Tracker = fresh
+		hl.Refresh()
+		if ticks++; ticks%64 == 0 {
+			hl.Compact(false)
 		}
 	}
 	d.OnMove = func(mv tier.MoveResult, now float64) { printMove(mv) }
@@ -557,6 +605,15 @@ func doTierDaemon(store string, args []string) error {
 		<-interrupt
 	}
 	d.Stop()
+	// Shutdown folds the log into a tight snapshot and releases the
+	// writer; a kill instead loses at most one unsynced batch and the
+	// next open replays the rest.
+	if _, err := hl.Compact(true); err != nil {
+		return err
+	}
+	if err := hl.Close(); err != nil {
+		return err
+	}
 	if err := m.SaveLastMoves(movesPath(store)); err != nil {
 		return err
 	}
@@ -667,6 +724,80 @@ func doStats(store string, args []string) error {
 	}
 	snap.WriteText(os.Stdout)
 	return nil
+}
+
+// doTune calibrates the store's parallelism on this machine: it
+// measures how each of the store's codes' encode and decode throughput
+// scales with worker count (plus the store device's sequential write
+// rate), persists the result as tune.json beside the manifest, and
+// prints the chosen pool sizes. Every later open of the store — CLI
+// one-shots, the tier daemon, per-shard servers — sizes its encode,
+// decode, repair and move pools from it instead of defaulting to
+// GOMAXPROCS. Calibration goes stale (and is ignored) when the gf256
+// kernel tier or the machine size changes; rerun tune after either.
+func doTune(store string, args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	mb := fs.Int("mb", 8, "megabytes of data per measurement")
+	rounds := fs.Int("rounds", 3, "best-of repetitions per worker count")
+	all := fs.Bool("all", false, "probe every registered code, not just the store's")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openStore(store)
+	if err != nil {
+		return err
+	}
+	names := storeCodes(s)
+	if *all {
+		names = core.Names()
+	}
+	p, err := tune.Probe(names, tune.Options{
+		ProbeMB:   *mb,
+		Rounds:    *rounds,
+		DeviceDir: store,
+	})
+	if err != nil {
+		return err
+	}
+	if err := p.Save(tune.PathIn(store)); err != nil {
+		return err
+	}
+	s.SetTune(p)
+	fmt.Printf("calibrated %s: kernel %s, %d procs, device write %.0f MB/s\n",
+		store, p.Kernel, p.MaxProcs, p.DeviceWriteMBps)
+	probed := make([]string, 0, len(p.Codes))
+	for code := range p.Codes {
+		probed = append(probed, code)
+	}
+	sort.Strings(probed)
+	for _, code := range probed {
+		ct := p.Codes[code]
+		fmt.Printf("  %-16s encode %d workers (%.0f MB/s), decode %d workers (%.0f MB/s)\n",
+			code, ct.EncodeWorkers, ct.EncodeMBps, ct.DecodeWorkers, ct.DecodeMBps)
+	}
+	fmt.Printf("  tier moves: %d concurrent\n", p.MoveWorkers)
+	return flushObs(store, s)
+}
+
+// storeCodes collects the codes the store actually serves: its default
+// plus every extent's tier code, plus the default hot/cold rebalance
+// pair so a later `tier daemon` run finds its target codes calibrated.
+func storeCodes(s *hdfsraid.Store) []string {
+	set := map[string]bool{s.Code().Name(): true, "pentagon": true, "rs-14-10": true}
+	for _, name := range s.Files() {
+		exts, _ := s.Extents(name)
+		for ext := range exts {
+			if code, ok := s.ExtentCode(name, ext); ok {
+				set[code] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for code := range set {
+		names = append(names, code)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // doServe runs the sharded serving front door in the foreground: the

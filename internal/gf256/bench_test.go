@@ -56,3 +56,31 @@ func BenchmarkXorSlice(b *testing.B) {
 		XorSlice(src, dst)
 	}
 }
+
+// The *Generic benches pin the portable loops regardless of what the
+// dispatch layer selected, so vector-vs-fallback speedup is measurable
+// on any box — this ratio is what the arm64 CI bench job gates the
+// NEON kernels on.
+
+func BenchmarkMulAddSliceGeneric(b *testing.B) {
+	lo, hi := Tables(0x8E)
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		mulAddSliceTabGeneric(lo, hi, src, dst)
+	}
+}
+
+func BenchmarkMulSliceGeneric(b *testing.B) {
+	lo, hi := Tables(0x8E)
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		mulSliceTabGeneric(lo, hi, src, dst)
+	}
+}
+
+func BenchmarkXorSliceGeneric(b *testing.B) {
+	src, dst := benchSrcDst(b)
+	for i := 0; i < b.N; i++ {
+		xorSliceGeneric(src, dst)
+	}
+}

@@ -40,6 +40,7 @@ func init() {
 		expTable[i] = expTable[i-255]
 	}
 	initSplitTables() // kernels.go; depends on the tables above
+	initArchKernels() // per-arch table compilation (e.g. GFNI matrices)
 }
 
 // Add returns the sum of a and b in GF(2^8). Addition is XOR and is its

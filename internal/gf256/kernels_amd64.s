@@ -85,6 +85,54 @@ muladdloop:
 	VZEROUPPER
 	RET
 
+// func mulVectorGFNI(mat uint64, src, dst []byte, n int)
+// dst[i] = mat(src[i]) for i < n; n is a positive multiple of 32. mat
+// is the 8x8 GF(2) bit-matrix of multiply-by-c (gfniMatrices[c]),
+// broadcast to every qword; VGF2P8AFFINEQB applies it to all 32 bytes
+// in one instruction.
+TEXT ·mulVectorGFNI(SB), NOSPLIT, $0-64
+	MOVQ mat+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ dst_base+32(FP), DI
+	MOVQ n+56(FP), CX
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0        // multiply-by-c matrix in every qword
+
+gfniloop:
+	VMOVDQU (SI), Y1
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VMOVDQU Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     gfniloop
+
+	VZEROUPPER
+	RET
+
+// func mulAddVectorGFNI(mat uint64, src, dst []byte, n int)
+// dst[i] ^= mat(src[i]) for i < n; n is a positive multiple of 32.
+TEXT ·mulAddVectorGFNI(SB), NOSPLIT, $0-64
+	MOVQ mat+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ dst_base+32(FP), DI
+	MOVQ n+56(FP), CX
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0
+
+gfniaddloop:
+	VMOVDQU (SI), Y1
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VPXOR   (DI), Y1, Y1       // accumulate into dst
+	VMOVDQU Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     gfniaddloop
+
+	VZEROUPPER
+	RET
+
 // func xorVectorAVX2(src, dst []byte, n int)
 // dst[i] ^= src[i] for i < n; n is a positive multiple of 32.
 TEXT ·xorVectorAVX2(SB), NOSPLIT, $0-56

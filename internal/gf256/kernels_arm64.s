@@ -1,0 +1,90 @@
+#include "textflag.h"
+
+// NEON split-nibble GF(256) kernels: the AArch64 mirror of the AVX2
+// VPSHUFB kernels. TBL looks up one 16-byte table register per lane,
+// so the low- and high-nibble product tables each live in a single
+// vector register and c*s = lo[s&0x0F] ^ hi[s>>4] is two TBLs and an
+// EOR. Each iteration handles 32 bytes (a register pair).
+
+// func mulVectorNEON(lo, hi *[16]byte, src, dst []byte, n int)
+// dst[i] = lo[src[i]&0x0F] ^ hi[src[i]>>4] for i < n; n is a positive
+// multiple of 32.
+TEXT ·mulVectorNEON(SB), NOSPLIT, $0-72
+	MOVD lo+0(FP), R0
+	MOVD hi+8(FP), R1
+	MOVD src_base+16(FP), R2
+	MOVD dst_base+40(FP), R3
+	MOVD n+64(FP), R4
+	VLD1 (R0), [V6.B16]        // low-nibble products
+	VLD1 (R1), [V7.B16]        // high-nibble products
+	VMOVI $15, V8.B16          // 0x0F in every byte
+
+mulloop:
+	VLD1.P 32(R2), [V0.B16, V1.B16]
+	VUSHR  $4, V0.B16, V2.B16  // high nibbles
+	VUSHR  $4, V1.B16, V3.B16
+	VAND   V8.B16, V0.B16, V0.B16 // low nibbles
+	VAND   V8.B16, V1.B16, V1.B16
+	VTBL   V0.B16, [V6.B16], V0.B16
+	VTBL   V2.B16, [V7.B16], V2.B16
+	VTBL   V1.B16, [V6.B16], V1.B16
+	VTBL   V3.B16, [V7.B16], V3.B16
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R3)
+	SUBS   $32, R4, R4
+	BNE    mulloop
+
+	RET
+
+// func mulAddVectorNEON(lo, hi *[16]byte, src, dst []byte, n int)
+// dst[i] ^= lo[src[i]&0x0F] ^ hi[src[i]>>4] for i < n; n is a positive
+// multiple of 32.
+TEXT ·mulAddVectorNEON(SB), NOSPLIT, $0-72
+	MOVD lo+0(FP), R0
+	MOVD hi+8(FP), R1
+	MOVD src_base+16(FP), R2
+	MOVD dst_base+40(FP), R3
+	MOVD n+64(FP), R4
+	VLD1 (R0), [V6.B16]
+	VLD1 (R1), [V7.B16]
+	VMOVI $15, V8.B16
+
+muladdloop:
+	VLD1.P 32(R2), [V0.B16, V1.B16]
+	VLD1   (R3), [V4.B16, V5.B16]
+	VUSHR  $4, V0.B16, V2.B16
+	VUSHR  $4, V1.B16, V3.B16
+	VAND   V8.B16, V0.B16, V0.B16
+	VAND   V8.B16, V1.B16, V1.B16
+	VTBL   V0.B16, [V6.B16], V0.B16
+	VTBL   V2.B16, [V7.B16], V2.B16
+	VTBL   V1.B16, [V6.B16], V1.B16
+	VTBL   V3.B16, [V7.B16], V3.B16
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VEOR   V4.B16, V0.B16, V0.B16 // accumulate into dst
+	VEOR   V5.B16, V1.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R3)
+	SUBS   $32, R4, R4
+	BNE    muladdloop
+
+	RET
+
+// func xorVectorNEON(src, dst []byte, n int)
+// dst[i] ^= src[i] for i < n; n is a positive multiple of 32.
+TEXT ·xorVectorNEON(SB), NOSPLIT, $0-56
+	MOVD src_base+0(FP), R2
+	MOVD dst_base+24(FP), R3
+	MOVD n+48(FP), R4
+
+xorloop:
+	VLD1.P 32(R2), [V0.B16, V1.B16]
+	VLD1   (R3), [V4.B16, V5.B16]
+	VEOR   V4.B16, V0.B16, V0.B16
+	VEOR   V5.B16, V1.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R3)
+	SUBS   $32, R4, R4
+	BNE    xorloop
+
+	RET

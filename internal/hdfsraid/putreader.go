@@ -3,7 +3,6 @@ package hdfsraid
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,7 +19,8 @@ func ingestKey(name string) string { return "\x00ingest\x00" + name }
 // PutReader stores a file streamed from r without a caller-
 // materialized byte slice: a sequential producer reads one stripe's
 // data blocks at a time into pooled buffers (closing each stripe at
-// the extent boundary), and a GOMAXPROCS-bounded worker pool encodes
+// the extent boundary), and a calibrated worker pool (the default
+// code's tuned encode width, GOMAXPROCS when uncalibrated) encodes
 // and writes stripes concurrently behind it. Peak memory is O(workers
 // × stripe), independent of the file's length — the ingest-side
 // counterpart of the streaming transcode pipeline. The file's length
@@ -67,7 +67,7 @@ func (s *Store) PutReader(name string, r io.Reader) (err error) {
 			}
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.encodeWorkersFor(s.codeName)
 	jobs := make(chan job, workers)
 	var failed atomic.Bool
 	errs := make([]error, workers+1)

@@ -20,7 +20,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -167,6 +166,11 @@ type Store struct {
 	// docs/OBSERVABILITY.md). Nil disables instrumentation; the
 	// overhead benchmark gate uses that to price it.
 	obs *storeObs
+
+	// tuned holds the store's calibrated worker-pool sizing loaded
+	// from tune.json (see internal/tune). A nil inner pointer means
+	// uncalibrated: every pool falls back to GOMAXPROCS.
+	tuned tunedParams
 
 	// healSeq numbers quarantine captures and heal write-back temp
 	// files, so concurrent heals of one block never collide on paths.
@@ -350,6 +354,7 @@ func CreateExt(root, codeName string, blockSize, extentBlocks int) (*Store, erro
 	if err := s.saveManifest(); err != nil {
 		return nil, err
 	}
+	s.loadTune()
 	return s, nil
 }
 
@@ -400,6 +405,7 @@ func Open(root string) (*Store, error) {
 		return nil, fmt.Errorf("hdfsraid: recovering journal: %w", err)
 	}
 	s.recovery = rec
+	s.loadTune()
 	return s, nil
 }
 
@@ -814,7 +820,14 @@ func (s *Store) get(name string, internal bool) ([]byte, error) {
 		return out, nil
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	// Pool size: the widest calibrated decode fan-out among the codes
+	// this file's extents actually use (GOMAXPROCS uncalibrated).
+	workers := 0
+	for _, cc := range ccs {
+		if w := s.decodeWorkersFor(cc.code.Name()); w > workers {
+			workers = w
+		}
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -963,7 +976,9 @@ type RepairReport struct {
 // set, hot files are repaired before cold ones, so the files
 // foreground traffic cares about most regain their replicas first —
 // and before any error cuts the pass short. Per-file repair work is
-// independent, so files fan out to a GOMAXPROCS-bounded worker pool
+// independent, so files fan out to a calibrated worker pool — the
+// widest tuned decode width among the store's codes, GOMAXPROCS when
+// uncalibrated —
 // (the same shape Rebalance uses for moves): workers pull files in
 // heat order, and on error the remaining queue is abandoned while
 // in-flight repairs drain.
@@ -1013,7 +1028,7 @@ func (s *Store) Repair(failed []int) (RepairReport, error) {
 	if len(names) == 0 {
 		return rep, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.repairWorkers()
 	if workers > len(names) {
 		workers = len(names)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hdfsraid"
 	"repro/internal/obs"
 	"repro/internal/tier"
+	"repro/internal/tier/accesslog"
 )
 
 // shardDirFmt names shard directories under the serving root.
@@ -58,7 +59,7 @@ type Config struct {
 type shard struct {
 	dir     string
 	store   *hdfsraid.Store
-	tracker *tier.Tracker
+	heat    *tier.HeatLog
 	daemon  *tier.Daemon
 	manager *tier.Manager
 }
@@ -170,25 +171,31 @@ func Open(root string, cfg Config) (*Server, error) {
 	return srv, nil
 }
 
-// heatFile and movesFile are the per-shard tier sidecars, the same
-// names hdfscli uses so a shard store remains driveable by the CLI.
-func heatFile(dir string) string  { return filepath.Join(dir, "tier-heat.json") }
+// movesFile is the per-shard last-move sidecar, the same name hdfscli
+// uses so a shard store remains driveable by the CLI. Heat lives in
+// the shard's tier-heat.json snapshot plus its heatlog/ access log,
+// both managed by tier.HeatLog.
 func movesFile(dir string) string { return filepath.Join(dir, "tier-moves.json") }
 
-// wireTier hooks the shard's heat tracker into its store's read path
-// and starts the shard's daemon when tiering is configured.
+// wireTier hooks the shard's heat log into its store's read path and
+// starts the shard's daemon when tiering is configured. Reads append
+// O(1) records to the shard's shared access log (crash-durable up to
+// the writer's batch), and the daemon tails foreign appends instead of
+// re-reading the heat file every scan.
 func (s *Server) wireTier(sh *shard, tc *TierConfig) error {
 	halfLife := 24.0 * 3600
 	if tc != nil && tc.HalfLife > 0 {
 		halfLife = tc.HalfLife
 	}
-	tr, err := tier.LoadTracker(heatFile(sh.dir), halfLife)
+	hl, err := tier.OpenHeatLog(sh.dir, halfLife, accesslog.Options{})
 	if err != nil {
 		return err
 	}
-	sh.tracker = tr
+	hl.Obs = sh.store.Obs()
+	sh.heat = hl
+	tr := hl.Tracker()
 	now := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
-	sh.store.OnReadExtent = func(name string, ext int) { tr.TouchExtent(name, ext, now()) }
+	sh.store.OnReadExtent = func(name string, ext int) { hl.TouchExtent(name, ext, now()) }
 	sh.store.Heat = func(name string) float64 { return tr.Heat(name, now()) }
 	if tc == nil {
 		return nil
@@ -199,6 +206,9 @@ func (s *Server) wireTier(sh *shard, tc *TierConfig) error {
 	}, tr)
 	if err != nil {
 		return err
+	}
+	if mw := sh.store.MoveWorkers(); mw > 0 {
+		m.MoveWorkers = mw
 	}
 	if err := m.LoadLastMoves(movesFile(sh.dir)); err != nil {
 		return err
@@ -215,6 +225,10 @@ func (s *Server) wireTier(sh *shard, tc *TierConfig) error {
 	if tc.ScrubPerScan > 0 {
 		d.Scrub = tier.StoreTarget{Store: sh.store}
 	}
+	// Before each scan, tail whatever other processes (CLI one-shots,
+	// a co-resident daemon) appended since the last one — O(new
+	// records), not a full heat-file reload.
+	d.OnTick = func(float64) { hl.Refresh() }
 	// The shard's daemon metrics land in the shard's own registry, so
 	// the merged /stats snapshot carries every shard's scans and moves.
 	d.Obs = sh.store.Obs()
@@ -248,8 +262,13 @@ func (s *Server) Close() error {
 		if sh.manager != nil {
 			keep(sh.manager.SaveLastMoves(movesFile(sh.dir)))
 		}
-		if sh.tracker != nil {
-			keep(sh.tracker.Save(heatFile(sh.dir)))
+		if sh.heat != nil {
+			// Fold the shard's log into a tight snapshot, then release
+			// the writer. A kill instead of a clean Close loses at most
+			// the unsynced batch; the log replays the rest at next open.
+			_, err := sh.heat.Compact(true)
+			keep(err)
+			keep(sh.heat.Close())
 		}
 	}
 	return first

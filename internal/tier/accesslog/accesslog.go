@@ -1,0 +1,142 @@
+// Package accesslog is the shared append-only access log behind tier
+// heat: every read appends one small framed record, batches are
+// fsync'd when a byte or age threshold trips (amortized O(1) on the
+// read path), and a compactor periodically folds sealed segments into
+// the heat snapshot and deletes them.
+//
+// On-disk layout, inside a store's heatlog/ directory:
+//
+//	seg-00000001.log  sealed segment (any segment but the highest)
+//	seg-00000002.log  active segment, writers append here
+//	compact.lock      flock serializing compactors
+//
+// Records are individually CRC-framed; a torn tail (the batch a crash
+// interrupted) is detected and skipped, and readers resynchronize on
+// the frame magic, so a kill at any moment loses at most the unsynced
+// batch and never corrupts what was already durable. Multiple
+// processes (serve shards, the tier daemon, hdfscli one-shots) share
+// the log: appends go through O_APPEND single writes under a shared
+// flock per segment, while the compactor takes exclusive flocks, so a
+// batch is either folded into the snapshot or still in a segment —
+// never neither, never both (see Compact for the commit protocol).
+package accesslog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one access-log entry: an access of weight N against a
+// file (Ext < 0) or one of its extents, at Time seconds. Src
+// identifies the writer that appended it, so a process tailing the log
+// can skip records it already applied to its own in-memory tracker.
+type Record struct {
+	Name string
+	Ext  int     // extent index; -1 means whole-file
+	N    float64 // access weight
+	Time float64 // seconds (same clock as tier.Tracker)
+	Src  uint64  // writer identity, stamped by Writer.Append
+}
+
+// Frame layout: [0xA5 0x5A][le16 payloadLen][le32 crc32(payload)] then
+// payload = [le16 nameLen][name][le32 ext][le64 n][le64 time][le64 src].
+const (
+	magic0      = 0xA5
+	magic1      = 0x5A
+	headerBytes = 8
+	maxName     = 4096
+	maxPayload  = maxName + 30
+)
+
+func appendFrame(buf []byte, rec Record) []byte {
+	if len(rec.Name) > maxName {
+		rec.Name = rec.Name[:maxName]
+	}
+	payload := make([]byte, 0, 2+len(rec.Name)+28)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(rec.Name)))
+	payload = append(payload, rec.Name...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(int32(rec.Ext)))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(rec.N))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(rec.Time))
+	payload = binary.LittleEndian.AppendUint64(payload, rec.Src)
+
+	buf = append(buf, magic0, magic1)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// parseFrame decodes the frame starting at data[i]. ok is false when
+// the bytes there are not a complete, checksummed frame — torn tail,
+// mid-batch garbage, or a partially visible concurrent write.
+func parseFrame(data []byte, i int) (rec Record, next int, ok bool) {
+	if i+headerBytes > len(data) || data[i] != magic0 || data[i+1] != magic1 {
+		return rec, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint16(data[i+2:]))
+	if plen < 30 || plen > maxPayload || i+headerBytes+plen > len(data) {
+		return rec, 0, false
+	}
+	payload := data[i+headerBytes : i+headerBytes+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[i+4:]) {
+		return rec, 0, false
+	}
+	nameLen := int(binary.LittleEndian.Uint16(payload))
+	if 2+nameLen+28 != plen {
+		return rec, 0, false
+	}
+	rec.Name = string(payload[2 : 2+nameLen])
+	p := payload[2+nameLen:]
+	rec.Ext = int(int32(binary.LittleEndian.Uint32(p)))
+	rec.N = math.Float64frombits(binary.LittleEndian.Uint64(p[4:]))
+	rec.Time = math.Float64frombits(binary.LittleEndian.Uint64(p[12:]))
+	rec.Src = binary.LittleEndian.Uint64(p[20:])
+	return rec, i + headerBytes + plen, true
+}
+
+// segPath names segment seq inside dir.
+func segPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.log", seq))
+}
+
+// Segments lists the segment sequence numbers in dir, ascending. The
+// highest is the active segment; the rest are sealed.
+func Segments(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []int64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".log"), 10, 64)
+		if err != nil || seq <= 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// syncDir fsyncs the directory so segment creates and unlinks are
+// durable. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

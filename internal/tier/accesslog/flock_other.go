@@ -1,0 +1,13 @@
+//go:build !unix
+
+package accesslog
+
+import "os"
+
+// Non-unix builds run without advisory locks: single-process use is
+// still correct (the Writer serializes itself), multi-process
+// compaction loses the writer-exclusion guarantee.
+
+func flockLock(*os.File, bool) error { return nil }
+
+func flockUnlock(*os.File) error { return nil }

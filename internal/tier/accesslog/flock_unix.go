@@ -1,0 +1,25 @@
+//go:build unix
+
+package accesslog
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockLock takes the advisory lock on f — shared for a writer's batch
+// append, exclusive for the compactor's fold-and-delete — blocking
+// until compatible. The kernel drops flocks when a process dies, so
+// crash residue never wedges the log.
+func flockLock(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	return syscall.Flock(int(f.Fd()), how)
+}
+
+// flockUnlock releases the advisory lock on f.
+func flockUnlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,92 @@
+package accesslog
+
+import "os"
+
+// Cursor marks a position in the log: the next byte to read within a
+// segment. The zero Cursor reads the whole log. A tracker snapshot
+// with AppliedSeq=K resumes from Cursor{Seq: K + 1}.
+type Cursor struct {
+	Seq int64 `json:"seq"`
+	Off int64 `json:"off"`
+}
+
+// Replay streams every complete record at or after the cursor to fn,
+// in segment order, and returns the cursor one past the last complete
+// record. It takes no locks: batches land as single appends, a
+// partially visible or torn frame stops the cursor *before* it (to be
+// re-read once complete), and embedded garbage from a crashed writer
+// is skipped by resynchronizing on the frame magic.
+//
+// reset reports that the cursor's segment no longer exists (a
+// compactor folded it into the snapshot since our last read); the
+// caller's incremental state may now lag the snapshot and should be
+// rebuilt from snapshot + full replay.
+func Replay(dir string, from Cursor, fn func(Record) error) (cur Cursor, reset bool, err error) {
+	seqs, err := Segments(dir)
+	if err != nil {
+		return from, false, err
+	}
+	cur = from
+	if from.Seq > 0 {
+		found := false
+		for _, s := range seqs {
+			if s == from.Seq {
+				found = true
+				break
+			}
+		}
+		if !found && len(seqs) > 0 && seqs[0] > from.Seq {
+			// Our segment was compacted away; start over from the
+			// oldest survivor and tell the caller to reload.
+			reset = true
+			cur = Cursor{}
+		}
+	}
+	for _, seq := range seqs {
+		if seq < cur.Seq {
+			continue
+		}
+		off := int64(0)
+		if seq == cur.Seq {
+			off = cur.Off
+		}
+		data, rerr := os.ReadFile(segPath(dir, seq))
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // compacted between listing and read
+			}
+			return cur, reset, rerr
+		}
+		if off > int64(len(data)) {
+			off = int64(len(data))
+		}
+		i := int(off)
+		lastGood := i
+		for i < len(data) {
+			rec, next, ok := parseFrame(data, i)
+			if ok {
+				if err := fn(rec); err != nil {
+					return Cursor{Seq: seq, Off: int64(lastGood)}, reset, err
+				}
+				i = next
+				lastGood = i
+				continue
+			}
+			// Not a frame here: scan forward for the next magic pair.
+			// If a valid frame follows, the gap was a torn batch from
+			// a crashed writer and is permanently skipped; if not,
+			// this is the (possibly still-growing) tail and the
+			// cursor stays before it.
+			j := i + 1
+			for j+1 < len(data) && !(data[j] == magic0 && data[j+1] == magic1) {
+				j++
+			}
+			if j+1 >= len(data) {
+				break
+			}
+			i = j
+		}
+		cur = Cursor{Seq: seq, Off: int64(lastGood)}
+	}
+	return cur, reset, nil
+}

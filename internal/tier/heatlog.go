@@ -1,0 +1,278 @@
+package tier
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/tier/accesslog"
+)
+
+// HeatFileName is the heat snapshot inside a store directory — the
+// same file the pre-log tier code persisted whole trackers to, now the
+// compaction target of the access log. Legacy snapshots (no
+// applied_seq) load as-is and migrate on first compaction.
+const HeatFileName = "tier-heat.json"
+
+// HeatLogDirName is the access-log directory inside a store.
+const HeatLogDirName = "heatlog"
+
+// HeatLog couples an in-memory Tracker with the shared append-only
+// access log: touches bump the tracker and append a log record (O(1),
+// amortized-fsync'd), Refresh tails records other processes appended,
+// and Compact folds sealed segments into the tier-heat.json snapshot.
+// Durable heat = snapshot + log; the in-memory tracker is a live view
+// and is never saved wholesale — a kill loses at most the writer's
+// unsynced batch.
+//
+// Concurrent use across processes is the point: per-shard servers
+// append while the tier daemon tails and compacts, and hdfscli
+// one-shots do both briefly.
+type HeatLog struct {
+	// Obs, when set, receives accesslog_* counters. Set before use.
+	Obs *obs.Registry
+
+	dir      string // access-log directory
+	snap     string // snapshot path
+	halfLife float64
+
+	mu      sync.Mutex
+	tracker *Tracker
+	w       *accesslog.Writer
+	cursor  accesslog.Cursor
+	closed  bool
+}
+
+// OpenHeatLog opens the heat state of storeDir: it loads the
+// tier-heat.json snapshot (legacy pre-log files included), replays
+// every log record past the snapshot's watermark into the tracker, and
+// opens the log for appending. Options control the writer's batching.
+func OpenHeatLog(storeDir string, halfLife float64, opt accesslog.Options) (*HeatLog, error) {
+	h := &HeatLog{
+		dir:  filepath.Join(storeDir, HeatLogDirName),
+		snap: filepath.Join(storeDir, HeatFileName),
+	}
+	tr, applied, err := LoadTrackerState(h.snap, halfLife)
+	if err != nil {
+		return nil, err
+	}
+	h.tracker = tr
+	h.halfLife = halfLifeOf(tr, halfLife)
+	h.cursor = accesslog.Cursor{Seq: applied + 1}
+	h.cursor, _, err = accesslog.Replay(h.dir, h.cursor, func(rec accesslog.Record) error {
+		h.applyLocked(rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.w, err = accesslog.OpenWriter(h.dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	h.w.OnFlush = func(records, bytes int) {
+		if r := h.Obs; r != nil {
+			r.Counter("accesslog_flushes_total").Inc()
+			r.Counter("accesslog_flush_records_total").Add(int64(records))
+			r.Counter("accesslog_flush_bytes_total").Add(int64(bytes))
+		}
+	}
+	return h, nil
+}
+
+// halfLifeOf recovers the effective half-life: a loaded snapshot keeps
+// its own, a fresh tracker uses the caller's.
+func halfLifeOf(tr *Tracker, fallback float64) float64 {
+	if tr != nil && tr.halfLife > 0 {
+		return tr.halfLife
+	}
+	return fallback
+}
+
+// Tracker returns the live in-memory heat view. Callers may read it
+// freely (it has its own lock); its counters include this process's
+// un-flushed touches.
+func (h *HeatLog) Tracker() *Tracker { return h.tracker }
+
+// applyLocked folds one log record into the tracker. Caller note:
+// Tracker has its own mutex; h.mu is not required here.
+func (h *HeatLog) applyLocked(rec accesslog.Record) {
+	if rec.Ext < 0 {
+		h.tracker.TouchN(rec.Name, rec.N, rec.Time)
+	} else {
+		h.tracker.TouchExtentN(rec.Name, rec.Ext, rec.N, rec.Time)
+	}
+}
+
+// Touch records a whole-file access: tracker bump plus O(1) log
+// append.
+func (h *HeatLog) Touch(name string, now float64) error {
+	return h.touch(accesslog.Record{Name: name, Ext: -1, N: 1, Time: now})
+}
+
+// TouchExtent records an extent access: tracker bump plus O(1) log
+// append.
+func (h *HeatLog) TouchExtent(name string, ext int, now float64) error {
+	return h.touch(accesslog.Record{Name: name, Ext: ext, N: 1, Time: now})
+}
+
+func (h *HeatLog) touch(rec accesslog.Record) error {
+	h.applyLocked(rec)
+	if r := h.Obs; r != nil {
+		r.Counter("accesslog_appends_total").Inc()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	return h.w.Append(rec)
+}
+
+// Refresh tails records appended by other processes since the last
+// Refresh (or open) into the tracker — the daemon's O(new records)
+// replacement for reloading the whole heat file every scan. Records
+// this process appended are skipped by writer identity: they are
+// already in the tracker. If a foreign compactor collected our cursor
+// segment, the view is rebuilt from snapshot + log.
+func (h *HeatLog) Refresh() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	own := h.w.ID()
+	cur, reset, err := accesslog.Replay(h.dir, h.cursor, func(rec accesslog.Record) error {
+		if rec.Src != own {
+			h.applyLocked(rec)
+			if r := h.Obs; r != nil {
+				r.Counter("accesslog_tailed_records_total").Inc()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if reset {
+		return h.reloadLocked()
+	}
+	h.cursor = cur
+	return nil
+}
+
+// reloadLocked rebuilds the in-memory view from the snapshot plus a
+// full log replay (no identity filter: the old in-memory state is
+// discarded, so our flushed records must fold back in too).
+func (h *HeatLog) reloadLocked() error {
+	if err := h.w.Flush(); err != nil {
+		return err
+	}
+	tr, applied, err := LoadTrackerState(h.snap, h.halfLife)
+	if err != nil {
+		return err
+	}
+	cur, _, err := accesslog.Replay(h.dir, accesslog.Cursor{Seq: applied + 1}, func(rec accesslog.Record) error {
+		if rec.Ext < 0 {
+			tr.TouchN(rec.Name, rec.N, rec.Time)
+		} else {
+			tr.TouchExtentN(rec.Name, rec.Ext, rec.N, rec.Time)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	*h.tracker = *cloneInto(h.tracker, tr)
+	h.cursor = cur
+	if r := h.Obs; r != nil {
+		r.Counter("accesslog_reloads_total").Inc()
+	}
+	return nil
+}
+
+// cloneInto moves src's state into dst's identity (dst pointer stays
+// valid for managers/daemons holding it) and returns dst.
+func cloneInto(dst, src *Tracker) *Tracker {
+	dst.mu.Lock()
+	src.mu.Lock()
+	dst.halfLife = src.halfLife
+	dst.files = src.files
+	dst.dirty = src.dirty
+	src.mu.Unlock()
+	dst.mu.Unlock()
+	return dst
+}
+
+// Compact folds sealed log segments into the tier-heat.json snapshot
+// and deletes them. With force, the active segment is first flushed
+// and rotated so everything durable folds down. The fold is
+// disk-to-disk: a snapshot-loaded tracker accumulates the sealed
+// segments and is committed with the new watermark before any segment
+// is deleted, so a kill at any point neither loses nor double-counts
+// heat (see accesslog.Compact). The live in-memory view is untouched.
+func (h *HeatLog) Compact(force bool) (folded int, err error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0, os.ErrClosed
+	}
+	if force {
+		if err := h.w.Rotate(); err != nil {
+			h.mu.Unlock()
+			return 0, err
+		}
+	} else if err := h.w.Flush(); err != nil {
+		h.mu.Unlock()
+		return 0, err
+	}
+	h.mu.Unlock()
+
+	base, applied, err := LoadTrackerState(h.snap, h.halfLife)
+	if err != nil {
+		return 0, err
+	}
+	_, folded, err = accesslog.Compact(h.dir, applied,
+		func(rec accesslog.Record) error {
+			if rec.Ext < 0 {
+				base.TouchN(rec.Name, rec.N, rec.Time)
+			} else {
+				base.TouchExtentN(rec.Name, rec.Ext, rec.N, rec.Time)
+			}
+			return nil
+		},
+		func(newApplied int64) error {
+			return base.SaveWithSeq(h.snap, newApplied)
+		})
+	if err != nil {
+		return folded, err
+	}
+	if r := h.Obs; r != nil && folded > 0 {
+		r.Counter("accesslog_compactions_total").Inc()
+		r.Counter("accesslog_compacted_records_total").Add(int64(folded))
+	}
+	return folded, nil
+}
+
+// Flush forces the pending append batch to disk.
+func (h *HeatLog) Flush() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	return h.w.Flush()
+}
+
+// Close flushes and closes the log writer. It does not compact; call
+// Compact first for a tight snapshot (daemons do, one-shots need not).
+func (h *HeatLog) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return h.w.Close()
+}

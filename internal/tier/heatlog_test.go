@@ -1,0 +1,267 @@
+package tier
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tier/accesslog"
+)
+
+func openTestHeatLog(t *testing.T, dir string) *HeatLog {
+	t.Helper()
+	h, err := OpenHeatLog(dir, 0, accesslog.Options{})
+	if err != nil {
+		t.Fatalf("OpenHeatLog: %v", err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+func TestHeatLogDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	h := openTestHeatLog(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := h.TouchExtent("f.bin", i%2, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Touch("g.bin", 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No snapshot was ever written wholesale; heat must come back from
+	// the log alone.
+	h2 := openTestHeatLog(t, dir)
+	if got := h2.Tracker().Heat("f.bin", 10); got != 5 {
+		t.Fatalf("f.bin heat after reopen = %v, want 5", got)
+	}
+	if got := h2.Tracker().Heat("g.bin", 11); got != 1 {
+		t.Fatalf("g.bin heat after reopen = %v, want 1", got)
+	}
+}
+
+func TestHeatLogCompactThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	h := openTestHeatLog(t, dir)
+	for i := 0; i < 20; i++ {
+		if err := h.TouchExtent("c.bin", i%4, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	folded, err := h.Compact(true)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if folded != 20 {
+		t.Fatalf("compacted %d records, want 20", folded)
+	}
+	// The snapshot now carries the heat and the watermark.
+	_, applied, err := LoadTrackerState(filepath.Join(dir, HeatFileName), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied < 1 {
+		t.Fatalf("snapshot applied_seq = %d, want >= 1", applied)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := openTestHeatLog(t, dir)
+	if got := h2.Tracker().Heat("c.bin", 19); got == 0 {
+		t.Fatal("heat lost after compact+reopen")
+	}
+	// Compacting with nothing new folds nothing and must not disturb
+	// the snapshot watermark.
+	if n, err := h2.Compact(false); err != nil || n != 0 {
+		t.Fatalf("idle Compact = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestHeatLogLegacyMigration opens a store whose heat lives in a
+// pre-log tier-heat.json written by Tracker.Save.
+func TestHeatLogLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	legacy := NewTracker(0)
+	legacy.TouchN("old.bin", 7, 100)
+	if err := legacy.Save(filepath.Join(dir, HeatFileName)); err != nil {
+		t.Fatal(err)
+	}
+	h := openTestHeatLog(t, dir)
+	if got := h.Tracker().Heat("old.bin", 100); got != 7 {
+		t.Fatalf("legacy heat = %v, want 7", got)
+	}
+	// New accesses append to the log; compaction folds them into the
+	// migrated snapshot without losing the legacy heat.
+	if err := h.Touch("old.bin", 101); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Compact(true); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	h2 := openTestHeatLog(t, dir)
+	if got := h2.Tracker().Heat("old.bin", 101); got != 8 {
+		t.Fatalf("migrated heat = %v, want 8", got)
+	}
+}
+
+// TestHeatLogRefreshTailsForeignWriters simulates the daemon (one
+// HeatLog) tailing appends made by a serving process (another HeatLog
+// on the same store) without re-reading the whole heat state, and not
+// double-counting its own appends.
+func TestHeatLogRefreshTailsForeignWriters(t *testing.T) {
+	dir := t.TempDir()
+	daemon := openTestHeatLog(t, dir)
+	server := openTestHeatLog(t, dir)
+
+	// The daemon has its own traffic too — Refresh must not re-apply
+	// it from the log.
+	if err := daemon.Touch("mine.bin", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := server.TouchExtent("theirs.bin", 0, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := server.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := daemon.Tracker().Heat("theirs.bin", 9); got != 10 {
+		t.Fatalf("daemon sees foreign heat %v, want 10", got)
+	}
+	if got := daemon.Tracker().Heat("mine.bin", 1); got != 1 {
+		t.Fatalf("daemon double-counted own heat: %v, want 1", got)
+	}
+	// Refresh again with nothing new: no change.
+	if err := daemon.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := daemon.Tracker().Heat("theirs.bin", 9); got != 10 {
+		t.Fatalf("second Refresh changed heat to %v", got)
+	}
+}
+
+// TestHeatLogRefreshSurvivesForeignCompaction: a foreign process
+// compacts segments out from under a tailing reader; Refresh must
+// rebuild from snapshot + log and end exact.
+func TestHeatLogRefreshSurvivesForeignCompaction(t *testing.T) {
+	dir := t.TempDir()
+	daemon := openTestHeatLog(t, dir)
+	server := openTestHeatLog(t, dir)
+
+	for i := 0; i < 6; i++ {
+		if err := server.TouchExtent("x.bin", 0, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server compacts (as shard shutdown does) — the daemon's
+	// cursor segment disappears.
+	if _, err := server.Compact(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := daemon.Tracker().Heat("x.bin", 5); got != 6 {
+		t.Fatalf("daemon heat after foreign compaction = %v, want 6", got)
+	}
+}
+
+// TestHeatLogCompactionKillPoints drives the HeatLog compaction
+// through crashes at both commit-protocol stages and checks heat is
+// neither lost nor double-counted — the acceptance criterion for the
+// access log.
+func TestHeatLogCompactionKillPoints(t *testing.T) {
+	for _, stage := range []string{"folded", "committed"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			h := openTestHeatLog(t, dir)
+			for i := 0; i < 12; i++ {
+				if err := h.TouchExtent("kp.bin", i%3, float64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			accesslog.CompactKillHookForTest(stage)
+			if _, err := h.Compact(true); err == nil {
+				t.Fatalf("Compact survived kill at %q", stage)
+			}
+			accesslog.CompactKillHookForTest("")
+			h.Close() // flush whatever remains; the "crashed" process is gone
+
+			// Restart: snapshot + log replay must see exactly 12.
+			h2 := openTestHeatLog(t, dir)
+			if got := h2.Tracker().Heat("kp.bin", 11); math.Abs(got-12) > 1e-9 {
+				t.Fatalf("heat after crash at %q = %v, want 12", stage, got)
+			}
+			// And a clean compaction converges.
+			if _, err := h2.Compact(true); err != nil {
+				t.Fatal(err)
+			}
+			h2.Close()
+			h3 := openTestHeatLog(t, dir)
+			if got := h3.Tracker().Heat("kp.bin", 11); math.Abs(got-12) > 1e-9 {
+				t.Fatalf("heat after recovery compaction = %v, want 12", got)
+			}
+		})
+	}
+}
+
+func TestTrackerDirtyBitSkipsCleanSaves(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "heat.json")
+	tr := NewTracker(0)
+	tr.Touch("a", 1)
+	if !tr.Dirty() {
+		t.Fatal("tracker not dirty after touch")
+	}
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dirty() {
+		t.Fatal("tracker still dirty after save")
+	}
+	fi1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean save must not rewrite the file (the daemon-tick fsync
+	// fix): mutate the file out-of-band and check Save leaves it alone.
+	if err := os.Chtimes(path, fi1.ModTime().Add(-1e9), fi1.ModTime().Add(-1e9)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(path)
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("clean Save rewrote the heat file")
+	}
+	// Loaded trackers start clean; touching dirties again.
+	tr2, err := LoadTracker(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Dirty() {
+		t.Fatal("freshly loaded tracker is dirty")
+	}
+	tr2.TouchExtent("a", 0, 2)
+	if !tr2.Dirty() {
+		t.Fatal("extent touch did not dirty the tracker")
+	}
+	tr2.Forget("a")
+	if err := tr2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Dirty() {
+		t.Fatal("dirty after save")
+	}
+}

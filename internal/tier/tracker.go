@@ -32,6 +32,7 @@ type Tracker struct {
 	mu       sync.Mutex
 	halfLife float64
 	files    map[string]*fileEntry
+	dirty    bool
 }
 
 type heatEntry struct {
@@ -93,6 +94,7 @@ func (t *Tracker) TouchN(name string, n, now float64) {
 		f.Whole = &heatEntry{}
 	}
 	t.bump(f.Whole, n, now)
+	t.dirty = true
 }
 
 // TouchExtent records one access to extent ext of name at time now.
@@ -114,6 +116,7 @@ func (t *Tracker) TouchExtentN(name string, ext int, n, now float64) {
 		f.Exts[ext] = e
 	}
 	t.bump(e, n, now)
+	t.dirty = true
 }
 
 // fileHeatLocked aggregates a file's decayed heat: whole-file counter
@@ -156,7 +159,20 @@ func (t *Tracker) ExtentHeat(name string, ext int, now float64) float64 {
 func (t *Tracker) Forget(name string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if _, ok := t.files[name]; ok {
+		t.dirty = true
+	}
 	delete(t.files, name)
+}
+
+// Dirty reports whether the tracker has changed since it was loaded or
+// last saved. Save is a no-op on a clean tracker, so periodic
+// snapshotters (the tier daemon) don't fsync an unchanged heat file
+// every tick.
+func (t *Tracker) Dirty() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dirty
 }
 
 // Len returns the number of tracked files.
@@ -209,41 +225,73 @@ func (t *Tracker) ExtentHeats(name string, now float64) map[int]float64 {
 
 // trackerState is the persisted form of a tracker. Files is the
 // current shape; Entries is the pre-extent flat map, loaded (as
-// file-level counters) but never written.
+// file-level counters) but never written. AppliedSeq is the access-log
+// watermark: every log segment with sequence <= AppliedSeq is already
+// folded into this snapshot (see HeatLog); 0 for legacy heat files and
+// stores not using the log.
 type trackerState struct {
-	HalfLife float64               `json:"half_life"`
-	Files    map[string]*fileEntry `json:"files,omitempty"`
-	Entries  map[string]*heatEntry `json:"entries,omitempty"`
+	HalfLife   float64               `json:"half_life"`
+	AppliedSeq int64                 `json:"applied_seq,omitempty"`
+	Files      map[string]*fileEntry `json:"files,omitempty"`
+	Entries    map[string]*heatEntry `json:"entries,omitempty"`
 }
 
 // Save writes the tracker state as JSON to path, so one-shot CLI
 // invocations can accumulate heat across runs. The save is atomic
 // (tmp + fsync + rename), so a crash mid-save cannot corrupt the
-// accumulated heat.
+// accumulated heat. A clean tracker (no changes since load or last
+// save) skips the write entirely when the file already exists.
 func (t *Tracker) Save(path string) error {
+	return t.SaveWithSeq(path, 0)
+}
+
+// SaveWithSeq is Save with an explicit access-log watermark recorded
+// in the snapshot. HeatLog compaction uses it; plain Save writes 0.
+func (t *Tracker) SaveWithSeq(path string, appliedSeq int64) error {
 	t.mu.Lock()
-	raw, err := json.MarshalIndent(trackerState{HalfLife: t.halfLife, Files: t.files}, "", "  ")
-	t.mu.Unlock()
+	if !t.dirty && appliedSeq == 0 {
+		if _, err := os.Stat(path); err == nil {
+			t.mu.Unlock()
+			return nil
+		}
+	}
+	raw, err := json.MarshalIndent(trackerState{HalfLife: t.halfLife, AppliedSeq: appliedSeq, Files: t.files}, "", "  ")
 	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
-	return atomicWriteFile(path, raw)
+	t.dirty = false
+	t.mu.Unlock()
+	if err := atomicWriteFile(path, raw); err != nil {
+		t.mu.Lock()
+		t.dirty = true // the state on disk does not reflect us after all
+		t.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // LoadTracker restores a tracker from path. A missing file yields a
 // fresh tracker with the given half-life; a file saved before extent
 // tracking loads its per-file counters as whole-file heat.
 func LoadTracker(path string, halfLife float64) (*Tracker, error) {
+	tr, _, err := LoadTrackerState(path, halfLife)
+	return tr, err
+}
+
+// LoadTrackerState is LoadTracker plus the snapshot's access-log
+// watermark (0 for legacy files), for callers resuming log replay.
+func LoadTrackerState(path string, halfLife float64) (*Tracker, int64, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return NewTracker(halfLife), nil
+		return NewTracker(halfLife), 0, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var st trackerState
 	if err := json.Unmarshal(raw, &st); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	tr := NewTracker(st.HalfLife)
 	if st.Files != nil {
@@ -252,5 +300,5 @@ func LoadTracker(path string, halfLife float64) (*Tracker, error) {
 	for name, e := range st.Entries {
 		tr.entry(name).Whole = e
 	}
-	return tr, nil
+	return tr, st.AppliedSeq, nil
 }
